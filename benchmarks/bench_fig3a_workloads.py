@@ -1,0 +1,23 @@
+"""Fig. 3a: speedups and R-bus utilizations for all six workloads."""
+
+from conftest import run_once
+
+from repro.analysis.fig3 import figure_3a
+
+
+def test_fig3a_workload_speedups(benchmark):
+    table = run_once(benchmark, figure_3a, scale="small", verify=True)
+    print()
+    print(table.render())
+    rows = {row[0]: row for row in table.rows}
+    # Every workload must be functionally correct on every system.
+    assert all(row[-1] for row in table.rows)
+    # AXI-Pack speeds up every workload (paper: 1.4x .. 5.4x).
+    for name, row in rows.items():
+        pack_speedup = row[4]
+        assert pack_speedup > 1.0, f"{name} shows no PACK speedup"
+    # PACK raises the read-bus utilization over BASE on every workload.
+    for name, row in rows.items():
+        assert row[7] > row[6], f"{name} PACK utilization not above BASE"
+    # Strided workloads profit more than indirect ones at equal stream length.
+    assert rows["gemv"][4] > rows["spmv"][4]

@@ -1,0 +1,22 @@
+"""Fig. 3b: gemv row- versus column-wise dataflow on the three systems."""
+
+from conftest import run_once
+
+from repro.analysis.fig3 import figure_3b
+
+
+def test_fig3b_gemv_dataflows(benchmark):
+    # Medium scale: the row/column crossover on BASE needs streams long
+    # enough that narrow strided accesses dominate the reduction cost.
+    table = run_once(benchmark, figure_3b, scale="medium", verify=True)
+    print()
+    print(table.render())
+    cycles = {(row[0], row[1]): row[2] for row in table.rows}
+    # Row-wise flows use only contiguous accesses, so BASE and PACK perform
+    # almost identically (paper: identical bars in Fig. 3b).
+    base_row, pack_row = cycles[("row", "base")], cycles[("row", "pack")]
+    assert abs(base_row - pack_row) / base_row < 0.1
+    # Column-wise needs packed strided accesses: it loses badly on BASE but
+    # wins on PACK.
+    assert cycles[("col", "base")] > cycles[("row", "base")]
+    assert cycles[("col", "pack")] < cycles[("row", "pack")]

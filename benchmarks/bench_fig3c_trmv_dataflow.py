@@ -1,0 +1,21 @@
+"""Fig. 3c: trmv row- versus column-wise dataflow on the three systems."""
+
+from conftest import run_once
+
+from repro.analysis.fig3 import figure_3c
+
+
+def test_fig3c_trmv_dataflows(benchmark):
+    # Medium scale for the same reason as Fig. 3b: the dataflow crossover on
+    # BASE only appears once the per-row streams are long enough.
+    table = run_once(benchmark, figure_3c, scale="medium", verify=True)
+    print()
+    print(table.render())
+    cycles = {(row[0], row[1]): row[2] for row in table.rows}
+    utils = {(row[0], row[1]): row[3] for row in table.rows}
+    # Column-wise only wins when strided accesses are packed.
+    assert cycles[("col", "base")] > cycles[("row", "base")]
+    assert cycles[("col", "pack")] < cycles[("row", "pack")]
+    # Column-wise PACK reaches a much higher utilization than row-wise BASE
+    # (paper: 72% vs 23%).
+    assert utils[("col", "pack")] > 2 * utils[("row", "base")]

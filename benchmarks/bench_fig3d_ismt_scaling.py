@@ -1,0 +1,23 @@
+"""Fig. 3d: ismt PACK speedup scaling with matrix dimension and bus width."""
+
+from conftest import run_once
+
+from repro.analysis.fig3 import figure_3d
+
+
+def test_fig3d_ismt_scaling(benchmark):
+    table = run_once(
+        benchmark, figure_3d, dimensions=[8, 16, 32, 64], bus_bits=(64, 128, 256)
+    )
+    print()
+    print(table.render())
+    speedups = {(row[0], row[1]): row[4] for row in table.rows}
+    dims = sorted({row[1] for row in table.rows})
+    # Speedups grow with matrix dimension (longer streams amortize overhead).
+    for bus in (64, 128, 256):
+        assert speedups[(bus, dims[-1])] > speedups[(bus, dims[0])]
+    # Wider buses make BASE's narrow accesses relatively worse, so the
+    # largest-dimension speedup grows with bus width (paper: 1.9/3.2/5.4x).
+    assert speedups[(256, dims[-1])] > speedups[(128, dims[-1])] > speedups[(64, dims[-1])]
+    # AXI-Pack never slows a workload down, no matter how short the streams.
+    assert all(value > 0.95 for value in speedups.values())

@@ -1,0 +1,22 @@
+"""Fig. 4a: adapter area versus clock constraint and bus width."""
+
+from conftest import run_once
+
+from repro.analysis.fig4 import figure_4a
+
+
+def test_fig4a_adapter_area(benchmark):
+    table = run_once(benchmark, figure_4a)
+    print()
+    print(table.render())
+    at_1ghz = {row[0]: row[2] for row in table.rows if row[1] == 1000}
+    # Calibration: the 1 GHz areas match the paper's 69 / 130 / 257 kGE.
+    assert abs(at_1ghz[64] - 69) < 3
+    assert abs(at_1ghz[128] - 130) < 4
+    assert abs(at_1ghz[256] - 257) < 6
+    # Area grows monotonically with bus width at every clock constraint.
+    for clock in {row[1] for row in table.rows}:
+        widths = sorted(row[0] for row in table.rows if row[1] == clock)
+        areas = [row[2] for width in widths for row in table.rows
+                 if row[1] == clock and row[0] == width]
+        assert areas == sorted(areas)

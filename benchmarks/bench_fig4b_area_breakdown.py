@@ -1,0 +1,25 @@
+"""Fig. 4b: adapter area breakdown by converter."""
+
+from conftest import run_once
+
+from repro.analysis.fig4 import figure_4b
+
+
+def test_fig4b_area_breakdown(benchmark):
+    table = run_once(benchmark, figure_4b)
+    print()
+    print(table.render())
+    shares = {row[0]: row[2] for row in table.rows if row[0] != "total"}
+    areas = {row[0]: row[1] for row in table.rows if row[0] != "total"}
+    total = next(row[1] for row in table.rows if row[0] == "total")
+    # The paper's breakdown: indirect converters dominate (~29% each), the
+    # strided converters are ~14% each, the base AXI4 converter ~10%.
+    assert 0.25 < shares["indirect_read_converter"] < 0.32
+    assert 0.25 < shares["indirect_write_converter"] < 0.32
+    assert 0.11 < shares["strided_read_converter"] < 0.17
+    assert 0.08 < shares["axi4_converter"] < 0.13
+    # Read and write converters of the same type are nearly the same size.
+    assert abs(areas["strided_read_converter"] - areas["strided_write_converter"]) < 3
+    assert abs(areas["indirect_read_converter"] - areas["indirect_write_converter"]) < 3
+    # Total matches the paper's 258 kGE within a few percent.
+    assert abs(total - 258) < 8

@@ -1,0 +1,24 @@
+"""Fig. 4c: benchmark power and energy-efficiency improvement."""
+
+from conftest import run_once
+
+from repro.analysis.fig4 import figure_4c
+
+
+def test_fig4c_energy_efficiency(benchmark):
+    table = run_once(benchmark, figure_4c, scale="small")
+    print()
+    print(table.render())
+    rows = {row[0]: row for row in table.rows}
+    for name, row in rows.items():
+        base_power, pack_power = row[1], row[2]
+        power_increase, improvement = row[3], row[5]
+        # Benchmark powers land in the paper's 100-300 mW range.
+        assert 80 < base_power < 330, name
+        assert 80 < pack_power < 360, name
+        # PACK may draw more power, but only moderately (paper: at most +31%).
+        assert power_increase < 0.45, name
+        # Every workload improves its energy efficiency (paper: 1.4x .. 5.3x).
+        assert improvement > 1.0, name
+    # Strided workloads show larger efficiency gains than indirect ones.
+    assert rows["gemv"][5] > rows["sssp"][5]

@@ -1,0 +1,35 @@
+"""Fig. 5a: indirect-read utilization vs element/index size and bank count."""
+
+from conftest import run_once
+
+from repro.analysis.fig5 import figure_5a
+
+
+SIZE_PAIRS = ((32, 32), (32, 16), (32, 8), (64, 32), (128, 32), (256, 32))
+BANKS = (8, 17, 32)
+
+
+def test_fig5a_indirect_sensitivity(benchmark):
+    table = run_once(
+        benchmark, figure_5a, size_pairs=SIZE_PAIRS, bank_counts=BANKS, num_beats=32
+    )
+    print()
+    print(table.render())
+    util = {(row[0], row[1], row[2]): row[3] for row in table.rows}
+    bound = {(row[0], row[1]): row[4] for row in table.rows}
+    # More banks help single-word elements, where every gathered word is an
+    # independent random bank access (the paper's dominant case).
+    for elem, idx in SIZE_PAIRS:
+        if elem == 32:
+            assert util[(elem, idx, 8)] <= util[(elem, idx, 17)] + 0.02
+            assert util[(elem, idx, 17)] <= util[(elem, idx, 32)] + 0.02
+        else:
+            # Multi-word elements are bank-aligned runs; bank count matters
+            # far less, but more banks must never hurt significantly.
+            assert util[(elem, idx, 32)] >= util[(elem, idx, 8)] - 0.08
+        # The conflict-free memory approaches the r/(r+1) port-sharing bound.
+        assert util[(elem, idx, "ideal")] <= bound[(elem, idx)] + 0.02
+        assert util[(elem, idx, "ideal")] > 0.6 * bound[(elem, idx)]
+    # Larger element/index ratios give higher utilization (paper's main trend).
+    assert util[(32, 8, 17)] > util[(32, 16, 17)] > util[(32, 32, 17)]
+    assert util[(256, 32, 17)] > util[(64, 32, 17)] > util[(32, 32, 17)]

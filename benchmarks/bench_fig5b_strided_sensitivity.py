@@ -1,0 +1,28 @@
+"""Fig. 5b: strided-read utilization vs element size and bank count."""
+
+from conftest import run_once
+
+from repro.analysis.fig5 import figure_5b
+
+
+def test_fig5b_strided_sensitivity(benchmark):
+    table = run_once(
+        benchmark, figure_5b,
+        elem_sizes_bits=(32, 64, 128),
+        bank_counts=(8, 16, 17, 31),
+        strides=range(0, 64, 2),
+        num_beats=8,
+    )
+    print()
+    print(table.render())
+    util = {(row[0], row[1]): row[2] for row in table.rows}
+    # Prime bank counts beat the neighbouring power-of-two counts on strided
+    # accesses (17 vs 16, 31 vs 16): the paper's central Fig. 5b message.
+    for elem in (32, 64, 128):
+        assert util[(elem, 17)] > util[(elem, 16)]
+        assert util[(elem, 31)] > util[(elem, 16)]
+    # Larger elements reduce conflicts (fewer aligned elements per line).
+    assert util[(128, 8)] >= util[(32, 8)]
+    # More banks never hurt.
+    for elem in (32, 64, 128):
+        assert util[(elem, 16)] >= util[(elem, 8)] - 0.02

@@ -1,0 +1,26 @@
+"""Fig. 5c: bank crossbar area versus bank count."""
+
+from conftest import run_once
+
+from repro.analysis.fig5 import figure_5c
+
+
+def test_fig5c_crossbar_area(benchmark):
+    table = run_once(benchmark, figure_5c)
+    print()
+    print(table.render())
+    rows = {row[0]: row for row in table.rows}
+    # Power-of-two bank counts need no modulo/divider hardware.
+    for banks in (8, 16, 32):
+        assert rows[banks][2] == 0.0 and rows[banks][3] == 0.0
+    # Prime bank counts pay for modulo and divide units.
+    for banks in (11, 17, 31):
+        assert rows[banks][2] > 0.0 and rows[banks][3] > 0.0
+    # Crossbar area grows with the bank count.
+    assert rows[32][1] > rows[16][1] > rows[8][1]
+    # The prime overhead shrinks relative to the crossbar as banks increase.
+    overhead_11 = (rows[11][2] + rows[11][3]) / rows[11][4]
+    overhead_31 = (rows[31][2] + rows[31][3]) / rows[31][4]
+    assert overhead_31 < overhead_11
+    # Totals stay in the paper's 0-45 kGE range.
+    assert all(row[4] < 50 for row in table.rows)

@@ -1,0 +1,54 @@
+"""Headline numbers of the paper (abstract / §III): one combined check.
+
+The paper's headline claims, at a reduced problem scale:
+
+* AXI-Pack achieves high bus utilizations on strided workloads and clearly
+  improved utilizations on indirect workloads;
+* speedups over the AXI4 baseline on every irregular workload;
+* energy-efficiency improvements on every workload;
+* the controller costs a few percent of Ara's area.
+"""
+
+from conftest import run_once
+
+from repro.analysis.fig3 import collect_figure_3a_comparisons
+from repro.analysis.fig4 import figure_4c
+from repro.hw import AdapterAreaModel
+from repro.hw.technology import GF22FDX
+
+
+def _headline(scale: str = "small"):
+    comparisons = collect_figure_3a_comparisons(scale=scale, verify=True)
+    energy = figure_4c(comparisons=comparisons)
+    area_fraction = AdapterAreaModel().fraction_of_ara(256, 1000.0, GF22FDX.ara_area_kge)
+    return comparisons, energy, area_fraction
+
+
+def test_headline_results(benchmark):
+    comparisons, energy, area_fraction = run_once(benchmark, _headline)
+    print()
+    strided = ["ismt", "gemv", "trmv"]
+    indirect = ["spmv", "prank", "sssp"]
+    best_strided = max(comparisons[n].pack_speedup for n in strided)
+    best_indirect = max(comparisons[n].pack_speedup for n in indirect)
+    best_strided_util = max(comparisons[n].pack.r_utilization for n in strided)
+    best_indirect_util = max(comparisons[n].pack.r_utilization for n in indirect)
+    print(f"peak strided speedup   : {best_strided:.2f}x (paper: 5.4x at full scale)")
+    print(f"peak indirect speedup  : {best_indirect:.2f}x (paper: 2.4x at full scale)")
+    print(f"peak strided R util    : {best_strided_util:.1%} (paper: 87%)")
+    print(f"peak indirect R util   : {best_indirect_util:.1%} (paper: 39%)")
+    improvements = {row[0]: row[5] for row in energy.rows}
+    print(f"energy efficiency gains: {improvements}")
+    print(f"adapter / Ara area     : {area_fraction:.1%} (paper: 6.2%)")
+
+    # Every workload is correct, faster, and more energy-efficient with PACK.
+    for name, comparison in comparisons.items():
+        assert comparison.base.verified and comparison.pack.verified
+        assert comparison.pack_speedup > 1.0
+        assert improvements[name] > 1.0
+    # Strided workloads reach higher utilization and speedups than indirect
+    # ones, as in the paper (87%/5.4x vs 39%/2.4x).
+    assert best_strided_util > best_indirect_util
+    assert best_strided > best_indirect
+    # The controller area overhead stays small.
+    assert area_fraction < 0.10

@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one figure of the paper at a reduced problem
+size (so the whole suite runs in minutes) and prints the resulting table, so
+``pytest benchmarks/ --benchmark-only -s`` doubles as the artifact that
+produces EXPERIMENTS.md's measured numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture(autouse=True)
+def _print_tables(capsys):
+    """Let experiment tables reach the terminal when -s is used."""
+    yield

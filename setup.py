@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The project is fully described by ``pyproject.toml``; this file only exists
+so that editable installs work in offline environments whose setuptools
+lacks the ``wheel`` package required by PEP 660 editable builds
+(``python setup.py develop`` as a fallback for ``pip install -e .``).
+"""
+
+from setuptools import setup
+
+setup()

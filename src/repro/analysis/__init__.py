@@ -1,0 +1,26 @@
+"""Experiment drivers: one function per figure of the paper's evaluation."""
+
+from repro.analysis.report import ExperimentTable, format_table, write_csv
+from repro.analysis.fig3 import figure_3a, figure_3b, figure_3c, figure_3d, figure_3e
+from repro.analysis.fig4 import figure_4a, figure_4b, figure_4c
+from repro.analysis.fig5 import figure_5a, figure_5b, figure_5c
+from repro.analysis.experiments import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "ExperimentTable",
+    "format_table",
+    "write_csv",
+    "figure_3a",
+    "figure_3b",
+    "figure_3c",
+    "figure_3d",
+    "figure_3e",
+    "figure_4a",
+    "figure_4b",
+    "figure_4c",
+    "figure_5a",
+    "figure_5b",
+    "figure_5c",
+    "EXPERIMENTS",
+    "run_experiment",
+]

@@ -1,0 +1,39 @@
+"""Experiment registry: map figure ids to their drivers."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping
+
+from repro.analysis import fig3, fig4, fig5
+from repro.analysis.report import ExperimentTable
+from repro.errors import ConfigurationError
+
+#: Every reproduced figure, keyed by its id in the paper.
+EXPERIMENTS: Mapping[str, Callable[..., ExperimentTable]] = {
+    "fig3a": fig3.figure_3a,
+    "fig3b": fig3.figure_3b,
+    "fig3c": fig3.figure_3c,
+    "fig3d": fig3.figure_3d,
+    "fig3e": fig3.figure_3e,
+    "fig4a": fig4.figure_4a,
+    "fig4b": fig4.figure_4b,
+    "fig4c": fig4.figure_4c,
+    "fig5a": fig5.figure_5a,
+    "fig5b": fig5.figure_5b,
+    "fig5c": fig5.figure_5c,
+}
+
+#: Which experiments accept a ``scale`` keyword (the simulation-based ones).
+_SCALED = {"fig3a", "fig3b", "fig3c", "fig4c"}
+
+
+def run_experiment(name: str, scale: str = "small", **kwargs) -> ExperimentTable:
+    """Run one experiment by figure id and return its result table."""
+    if name not in EXPERIMENTS:
+        raise ConfigurationError(
+            f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
+        )
+    driver = EXPERIMENTS[name]
+    if name in _SCALED:
+        return driver(scale=scale, **kwargs)
+    return driver(**kwargs)

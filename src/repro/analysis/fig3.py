@@ -1,0 +1,187 @@
+"""Figure 3 experiments: workload performance on BASE / PACK / IDEAL.
+
+All drivers take a ``scale`` argument: ``"small"`` runs in seconds (for tests
+and pytest-benchmark), ``"medium"`` in a couple of minutes, and ``"paper"``
+approaches the paper's problem sizes (256x256 dense matrices and a
+heart1-like sparse matrix with 390 average nonzeros per row).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.analysis.report import ExperimentTable
+from repro.errors import ConfigurationError
+from repro.system.config import SystemConfig, SystemKind
+from repro.system.results import WorkloadComparison
+from repro.system.runner import compare_systems, run_workload
+from repro.workloads.registry import WORKLOAD_ORDER, make_workload
+
+#: Problem sizes per scale: (dense matrix dim, sparse rows, sparse nnz/row).
+SCALES = {
+    "tiny": (16, 16, 8.0),
+    "small": (48, 48, 32.0),
+    "medium": (128, 128, 128.0),
+    "paper": (256, 256, 390.0),
+}
+
+
+def _sizes(scale: str):
+    if scale not in SCALES:
+        raise ConfigurationError(f"unknown scale {scale!r}; choose from {sorted(SCALES)}")
+    return SCALES[scale]
+
+
+def _workload_factory(name: str, scale: str):
+    dense_n, sparse_rows, nnz = _sizes(scale)
+    if name in ("ismt", "gemv", "trmv"):
+        return lambda: make_workload(name, size=dense_n)
+    return lambda: make_workload(name, size=sparse_rows, avg_nnz_per_row=min(nnz, sparse_rows))
+
+
+def figure_3a(
+    scale: str = "small",
+    config: Optional[SystemConfig] = None,
+    workloads: Sequence[str] = WORKLOAD_ORDER,
+    verify: bool = True,
+) -> ExperimentTable:
+    """Fig. 3a: speedups over BASE and R-bus utilizations for all workloads."""
+    config = config or SystemConfig()
+    table = ExperimentTable(
+        experiment="fig3a",
+        caption="Speedups and R bus utilizations across workloads",
+        headers=[
+            "workload", "base_cycles", "pack_cycles", "ideal_cycles",
+            "pack_speedup", "ideal_speedup", "base_Rutil", "pack_Rutil",
+            "ideal_Rutil", "ideal_Rutil_no_idx", "verified",
+        ],
+    )
+    for name in workloads:
+        comparison = compare_systems(_workload_factory(name, scale), config, verify=verify)
+        table.add_row(
+            name,
+            comparison.base.cycles,
+            comparison.pack.cycles,
+            comparison.ideal.cycles,
+            comparison.pack_speedup,
+            comparison.ideal_speedup,
+            comparison.base.r_utilization,
+            comparison.pack.r_utilization,
+            comparison.ideal.r_utilization,
+            comparison.ideal.r_utilization_no_index,
+            all(r.verified for r in (comparison.base, comparison.pack, comparison.ideal)),
+        )
+    table.add_note(f"scale={scale}, bus={config.bus_bits}b, banks={config.num_banks}")
+    return table
+
+
+def collect_figure_3a_comparisons(
+    scale: str = "small",
+    config: Optional[SystemConfig] = None,
+    workloads: Sequence[str] = WORKLOAD_ORDER,
+    verify: bool = False,
+) -> Dict[str, WorkloadComparison]:
+    """Raw comparisons behind Fig. 3a (reused by the Fig. 4c energy model)."""
+    config = config or SystemConfig()
+    return {
+        name: compare_systems(_workload_factory(name, scale), config, verify=verify)
+        for name in workloads
+    }
+
+
+def _dataflow_table(workload_name: str, experiment: str, scale: str,
+                    config: Optional[SystemConfig], verify: bool) -> ExperimentTable:
+    config = config or SystemConfig()
+    dense_n, _, _ = _sizes(scale)
+    table = ExperimentTable(
+        experiment=experiment,
+        caption=f"{workload_name} row- vs column-wise dataflow",
+        headers=["dataflow", "system", "cycles", "r_utilization", "verified"],
+    )
+    for dataflow in ("row", "col"):
+        for kind in (SystemKind.BASE, SystemKind.PACK, SystemKind.IDEAL):
+            workload = make_workload(workload_name, size=dense_n, dataflow=dataflow)
+            result = run_workload(workload, config, kind=kind, verify=verify)
+            table.add_row(dataflow, kind.value, result.cycles,
+                          result.r_utilization, bool(result.verified))
+    table.add_note(f"scale={scale}: row-wise flows perform identically on BASE and "
+                   "PACK; column-wise flows need packed strided accesses to win")
+    return table
+
+
+def figure_3b(scale: str = "small", config: Optional[SystemConfig] = None,
+              verify: bool = True) -> ExperimentTable:
+    """Fig. 3b: gemv dataflows compared on all three systems."""
+    return _dataflow_table("gemv", "fig3b", scale, config, verify)
+
+
+def figure_3c(scale: str = "small", config: Optional[SystemConfig] = None,
+              verify: bool = True) -> ExperimentTable:
+    """Fig. 3c: trmv dataflows compared on all three systems."""
+    return _dataflow_table("trmv", "fig3c", scale, config, verify)
+
+
+def figure_3d(
+    dimensions: Optional[Iterable[int]] = None,
+    bus_bits: Sequence[int] = (64, 128, 256),
+    config: Optional[SystemConfig] = None,
+    verify: bool = False,
+) -> ExperimentTable:
+    """Fig. 3d: ismt PACK speedup versus matrix dimension and bus width."""
+    config = config or SystemConfig()
+    dimensions = list(dimensions) if dimensions is not None else [8, 16, 32, 64, 128]
+    table = ExperimentTable(
+        experiment="fig3d",
+        caption="ismt PACK speedup over BASE vs matrix dimension and bus width",
+        headers=["bus_bits", "dimension", "base_cycles", "pack_cycles", "speedup"],
+    )
+    for bus in bus_bits:
+        bus_config = SystemConfig(
+            kind=config.kind, bus_bytes=bus // 8, word_bytes=config.word_bytes,
+            num_banks=config.num_banks, queue_depth=config.queue_depth,
+            memory_bytes=config.memory_bytes,
+        )
+        for dim in dimensions:
+            factory = lambda d=dim: make_workload("ismt", size=d)
+            base = run_workload(factory(), bus_config, kind=SystemKind.BASE, verify=verify)
+            pack = run_workload(factory(), bus_config, kind=SystemKind.PACK, verify=verify)
+            table.add_row(bus, dim, base.cycles, pack.cycles,
+                          base.cycles / pack.cycles)
+    table.add_note("speedups grow with dimension (longer streams) and bus width "
+                   "(narrow BASE accesses waste more)")
+    return table
+
+
+def figure_3e(
+    nnz_per_row: Optional[Iterable[float]] = None,
+    bus_bits: Sequence[int] = (64, 128, 256),
+    num_rows: int = 48,
+    config: Optional[SystemConfig] = None,
+    verify: bool = False,
+) -> ExperimentTable:
+    """Fig. 3e: spmv PACK speedup versus average nonzeros per row and bus width."""
+    config = config or SystemConfig()
+    nnz_per_row = list(nnz_per_row) if nnz_per_row is not None else [2, 8, 16, 32, 48]
+    table = ExperimentTable(
+        experiment="fig3e",
+        caption="spmv PACK speedup over BASE vs nonzeros per row and bus width",
+        headers=["bus_bits", "nnz_per_row", "base_cycles", "pack_cycles", "speedup"],
+    )
+    for bus in bus_bits:
+        bus_config = SystemConfig(
+            kind=config.kind, bus_bytes=bus // 8, word_bytes=config.word_bytes,
+            num_banks=config.num_banks, queue_depth=config.queue_depth,
+            memory_bytes=config.memory_bytes,
+        )
+        for nnz in nnz_per_row:
+            rows = max(num_rows, int(nnz) + 1)
+            factory = lambda k=nnz, r=rows: make_workload(
+                "spmv", size=r, avg_nnz_per_row=float(k)
+            )
+            base = run_workload(factory(), bus_config, kind=SystemKind.BASE, verify=verify)
+            pack = run_workload(factory(), bus_config, kind=SystemKind.PACK, verify=verify)
+            table.add_row(bus, nnz, base.cycles, pack.cycles,
+                          base.cycles / pack.cycles)
+    table.add_note("nonzeros per row set the stream length of each row iteration; "
+                   "short rows are dominated by iteration overhead")
+    return table

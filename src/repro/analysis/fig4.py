@@ -1,0 +1,88 @@
+"""Figure 4 experiments: adapter area, timing and benchmark energy."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.analysis.fig3 import collect_figure_3a_comparisons
+from repro.analysis.report import ExperimentTable
+from repro.hw.area import AdapterAreaModel
+from repro.hw.energy import EnergyModel
+from repro.hw.technology import GF22FDX
+from repro.hw.timing import TimingModel
+from repro.system.config import SystemConfig
+from repro.system.results import WorkloadComparison
+from repro.workloads.registry import WORKLOAD_ORDER
+
+
+def figure_4a(
+    clock_periods_ps: Sequence[float] = (1000, 1250, 1500, 2000, 2500, 3000),
+    bus_bits: Sequence[int] = (64, 128, 256),
+) -> ExperimentTable:
+    """Fig. 4a: adapter area versus clock constraint for three bus widths."""
+    model = AdapterAreaModel()
+    timing = TimingModel()
+    table = ExperimentTable(
+        experiment="fig4a",
+        caption="Adapter area versus minimum clock period",
+        headers=["bus_bits", "clock_ps", "area_kge", "min_period_ps"],
+    )
+    for bus in bus_bits:
+        minimum = timing.min_period_ps(bus)
+        for period in sorted(set(list(clock_periods_ps) + [minimum])):
+            if period < minimum:
+                continue
+            table.add_row(bus, period, model.total_area_kge(bus, period), minimum)
+    table.add_note("areas scale linearly with bus width; pushing below 1 ns costs "
+                   "a small area premium (paper: 69/130/257 kGE at 1 GHz)")
+    return table
+
+
+def figure_4b(bus_bits: int = 256, clock_ps: float = 1000.0) -> ExperimentTable:
+    """Fig. 4b: hierarchical area breakdown of the adapter."""
+    model = AdapterAreaModel()
+    breakdown = model.breakdown(bus_bits, clock_ps)
+    table = ExperimentTable(
+        experiment="fig4b",
+        caption=f"Adapter area breakdown ({bus_bits}-bit bus)",
+        headers=["component", "area_kge", "share"],
+    )
+    for name, area, share in breakdown.as_rows():
+        table.add_row(name, area, share)
+    table.add_row("total", breakdown.total_kge, 1.0)
+    table.add_note(
+        f"adapter is {model.fraction_of_ara(bus_bits, clock_ps, GF22FDX.ara_area_kge):.1%} "
+        "of Ara's area (paper: 6.2%)"
+    )
+    return table
+
+
+def figure_4c(
+    scale: str = "small",
+    config: Optional[SystemConfig] = None,
+    comparisons: Optional[Dict[str, WorkloadComparison]] = None,
+    workloads: Sequence[str] = WORKLOAD_ORDER,
+) -> ExperimentTable:
+    """Fig. 4c: benchmark power and energy-efficiency improvement of PACK.
+
+    ``comparisons`` can be passed in when Fig. 3a was already simulated so the
+    runs are not repeated.
+    """
+    if comparisons is None:
+        comparisons = collect_figure_3a_comparisons(scale, config, workloads)
+    model = EnergyModel()
+    table = ExperimentTable(
+        experiment="fig4c",
+        caption="Benchmark power and energy-efficiency improvement (PACK vs BASE)",
+        headers=["workload", "base_power_mw", "pack_power_mw", "power_increase",
+                 "speedup", "energy_efficiency_improvement"],
+    )
+    for name in workloads:
+        comparison = comparisons[name]
+        energy = model.compare(comparison.base, comparison.pack)
+        table.add_row(name, energy.base_power_mw, energy.pack_power_mw,
+                      energy.power_increase, energy.speedup,
+                      energy.energy_efficiency_improvement)
+    table.add_note("power is an analytic activity-based model calibrated to the "
+                   "paper's 22FDX numbers; efficiency = speedup x power ratio")
+    return table

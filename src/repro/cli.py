@@ -1,0 +1,103 @@
+"""Command-line interface: list and run the paper's experiments.
+
+Examples::
+
+    axi-pack-repro list
+    axi-pack-repro run fig3a --scale small
+    axi-pack-repro run fig5c --csv fig5c.csv
+    axi-pack-repro workloads --size 48
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.experiments import EXPERIMENTS, run_experiment
+from repro.analysis.fig3 import SCALES
+from repro.analysis.report import write_csv
+from repro.system.config import SystemConfig
+from repro.system.runner import compare_systems
+from repro.version import __version__
+from repro.workloads.registry import WORKLOAD_ORDER, make_workload
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="axi-pack-repro",
+        description="AXI-Pack (DATE 2023) reproduction: run the paper's experiments",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    subparsers = parser.add_subparsers(dest="command")
+
+    subparsers.add_parser("list", help="list the reproducible figures")
+
+    run_parser = subparsers.add_parser("run", help="run one figure's experiment")
+    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run_parser.add_argument("--scale", choices=sorted(SCALES), default="small",
+                            help="problem size for simulation-based experiments")
+    run_parser.add_argument("--csv", help="also write the table to a CSV file")
+
+    wl_parser = subparsers.add_parser(
+        "workloads", help="run every workload on BASE/PACK/IDEAL and summarize"
+    )
+    wl_parser.add_argument("--size", type=int, default=48,
+                           help="matrix dimension / sparse row count")
+    wl_parser.add_argument("--no-verify", action="store_true",
+                           help="skip checking results against references")
+    return parser
+
+
+def _cmd_list() -> int:
+    print("Reproducible experiments (paper figure -> driver):")
+    for name in sorted(EXPERIMENTS):
+        doc = (EXPERIMENTS[name].__doc__ or "").strip().splitlines()[0]
+        print(f"  {name:<6s} {doc}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    table = run_experiment(args.experiment, scale=args.scale)
+    print(table.render())
+    if args.csv:
+        write_csv(table, args.csv)
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    config = SystemConfig()
+    print(f"Running {len(WORKLOAD_ORDER)} workloads at size {args.size} "
+          f"on BASE / PACK / IDEAL ({config.bus_bits}-bit bus, "
+          f"{config.num_banks} banks)")
+    for name in WORKLOAD_ORDER:
+        comparison = compare_systems(
+            lambda n=name: make_workload(n, size=args.size),
+            config, verify=not args.no_verify,
+        )
+        print(f"  {name:<6s} speedup={comparison.pack_speedup:5.2f}x "
+              f"(ideal {comparison.ideal_speedup:5.2f}x)  "
+              f"R util base/pack/ideal = "
+              f"{comparison.base.r_utilization:5.1%} / "
+              f"{comparison.pack.r_utilization:5.1%} / "
+              f"{comparison.ideal.r_utilization:5.1%}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "workloads":
+        return _cmd_workloads(args)
+    parser.print_help()
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

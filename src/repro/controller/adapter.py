@@ -1,0 +1,219 @@
+"""AXI-Pack adapter top level (paper Fig. 2b).
+
+The adapter is the single simulation component that owns the five burst
+converters.  Per cycle it:
+
+1. routes word responses from the banked memory back to the converter that
+   issued them;
+2. runs each converter's internal housekeeping (index extraction, planning);
+3. demultiplexes at most one AR and one AW request onto the right converter;
+4. routes at most one W data beat to the write converter expecting it;
+5. lets the converters issue word accesses onto the free memory ports (the
+   bank port mux: each port carries at most one access per cycle);
+6. multiplexes at most one R beat and one B response per cycle back onto the
+   AXI port — the R channel is a single physical bus, and this one-beat-per-
+   cycle rule is what every utilization number in the paper is measured
+   against.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Set, Tuple
+
+from repro.axi.monitor import ChannelMonitor
+from repro.axi.port import AxiPort
+from repro.axi.transaction import BusRequest
+from repro.controller.base_converter import BaseAxi4Converter
+from repro.controller.context import AdapterConfig, AdapterContext
+from repro.controller.converter import Converter
+from repro.controller.indirect_read import IndirectReadConverter
+from repro.controller.indirect_write import IndirectWriteConverter
+from repro.controller.pipes import ReadPipe, WritePipe
+from repro.controller.strided_read import StridedReadConverter
+from repro.controller.strided_write import StridedWriteConverter
+from repro.errors import ProtocolError, SimulationError
+from repro.mem.banked import BankedMemory
+from repro.sim.component import Component
+from repro.sim.stats import StatsRegistry
+
+
+class AxiPackAdapter(Component):
+    """Translates AXI / AXI-Pack bursts into banked word accesses."""
+
+    def __init__(
+        self,
+        name: str,
+        port: AxiPort,
+        memory: BankedMemory,
+        config: Optional[AdapterConfig] = None,
+        stats: Optional[StatsRegistry] = None,
+    ) -> None:
+        super().__init__(name)
+        self.port = port
+        self.memory = memory
+        self.config = config or AdapterConfig(bus_bytes=port.bus_bytes)
+        if self.config.bus_bytes != port.bus_bytes:
+            raise ProtocolError(
+                f"adapter bus width {self.config.bus_bytes}B does not match the "
+                f"AXI port width {port.bus_bytes}B"
+            )
+        if self.config.word_bytes != memory.config.word_bytes:
+            raise ProtocolError(
+                "adapter word width must match the banked memory word width"
+            )
+        if self.config.bus_words > memory.config.num_ports:
+            raise ProtocolError(
+                f"adapter needs {self.config.bus_words} word ports but the "
+                f"memory provides only {memory.config.num_ports}"
+            )
+        self.stats = stats if stats is not None else StatsRegistry()
+        self.ctx = AdapterContext(self.config, self.stats)
+        self.r_monitor = ChannelMonitor("R", self.config.bus_bytes)
+        self.w_monitor = ChannelMonitor("W", self.config.bus_bytes)
+
+        self.base = BaseAxi4Converter(f"{name}.base", self.ctx)
+        self.strided_read = StridedReadConverter(f"{name}.strided_read", self.ctx)
+        self.strided_write = StridedWriteConverter(f"{name}.strided_write", self.ctx)
+        self.indirect_read = IndirectReadConverter(f"{name}.indirect_read", self.ctx)
+        self.indirect_write = IndirectWriteConverter(f"{name}.indirect_write", self.ctx)
+        self.converters: List[Converter] = [
+            self.base,
+            self.strided_read,
+            self.strided_write,
+            self.indirect_read,
+            self.indirect_write,
+        ]
+        #: write converters in AW-acceptance order still owed W beats
+        self._w_routing: Deque[Tuple[Converter, int]] = deque()
+        self._issue_rr = 0
+        self._emit_rr = 0
+
+    # ------------------------------------------------------------ conversion
+    def _read_converter_for(self, request: BusRequest) -> Converter:
+        if request.mode.is_packed:
+            if request.mode.name == "STRIDED":
+                return self.strided_read
+            return self.indirect_read
+        return self.base
+
+    def _write_converter_for(self, request: BusRequest) -> Converter:
+        if request.mode.is_packed:
+            if request.mode.name == "STRIDED":
+                return self.strided_write
+            return self.indirect_write
+        return self.base
+
+    # ------------------------------------------------------------------ tick
+    def tick(self, cycle: int) -> None:
+        self._route_memory_responses()
+        for converter in self.converters:
+            converter.step(cycle)
+        self._demux_requests()
+        self._route_w_data()
+        self._issue_word_requests()
+        self._emit_r_beat()
+        self._emit_b_beat()
+
+    # -------------------------------------------------------------- responses
+    def _route_memory_responses(self) -> None:
+        for queue in self.memory.response_queues:
+            if not queue.can_pop():
+                continue
+            response = queue.pop()
+            pipe, state, slot = response.tag
+            if response.is_write:
+                pipe.take_ack(state, slot)
+            else:
+                pipe.take_response(state, slot, response.data.tobytes())
+
+    # ---------------------------------------------------------------- demux
+    def _demux_requests(self) -> None:
+        if self.port.ar.can_pop():
+            request = self.port.ar.peek()
+            converter = self._read_converter_for(request)
+            if converter.can_accept_read(request):
+                converter.accept_read(self.port.ar.pop())
+                self.stats.add("adapter.ar_accepted")
+        if self.port.aw.can_pop():
+            request = self.port.aw.peek()
+            converter = self._write_converter_for(request)
+            if converter.can_accept_write(request):
+                converter.accept_write(self.port.aw.pop())
+                self._w_routing.append((converter, request.num_beats))
+                self.stats.add("adapter.aw_accepted")
+
+    def _route_w_data(self) -> None:
+        if not self._w_routing or not self.port.w.can_pop():
+            return
+        converter, beats_left = self._w_routing[0]
+        beat = self.port.w.pop()
+        converter.take_w_beat(beat.data)
+        self.w_monitor.record_beat(beat.useful_bytes)
+        self.stats.add("adapter.w_beats")
+        if beats_left - 1 == 0:
+            self._w_routing.popleft()
+        else:
+            self._w_routing[0] = (converter, beats_left - 1)
+
+    # ----------------------------------------------------------------- issue
+    def _issue_word_requests(self) -> None:
+        free_ports: Set[int] = {
+            port
+            for port in range(self.config.bus_words)
+            if self.memory.request_queues[port].can_push()
+        }
+        if not free_ports:
+            return
+        requests = []
+        order = range(len(self.converters))
+        for offset in order:
+            converter = self.converters[(self._issue_rr + offset) % len(self.converters)]
+            converter.issue(free_ports, requests)
+            if not free_ports:
+                break
+        self._issue_rr = (self._issue_rr + 1) % len(self.converters)
+        for request in requests:
+            self.memory.request_queues[request.port].push(request)
+            self.stats.add("adapter.word_requests")
+
+    # ------------------------------------------------------------------ emit
+    def _emit_r_beat(self) -> None:
+        if not self.port.r.can_push():
+            return
+        for offset in range(len(self.converters)):
+            converter = self.converters[(self._emit_rr + offset) % len(self.converters)]
+            beat = converter.pop_ready_r_beat()
+            if beat is not None:
+                self.port.r.push(beat)
+                self.r_monitor.record_beat(beat.useful_bytes)
+                self.stats.add("adapter.r_beats")
+                self.stats.add("adapter.r_useful_bytes", beat.useful_bytes)
+                self._emit_rr = (self._emit_rr + 1) % len(self.converters)
+                return
+
+    def _emit_b_beat(self) -> None:
+        if not self.port.b.can_push():
+            return
+        for converter in self.converters:
+            beat = converter.pop_ready_b_beat()
+            if beat is not None:
+                self.port.b.push(beat)
+                self.stats.add("adapter.b_beats")
+                return
+
+    # ----------------------------------------------------------------- state
+    def busy(self) -> bool:
+        return any(converter.busy() for converter in self.converters) or bool(
+            self._w_routing
+        )
+
+    def reset(self) -> None:
+        for converter in self.converters:
+            converter.reset()
+        self._w_routing.clear()
+        self.ctx.reset()
+        self.r_monitor.reset()
+        self.w_monitor.reset()
+        self._issue_rr = 0
+        self._emit_rr = 0

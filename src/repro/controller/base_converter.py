@@ -1,0 +1,91 @@
+"""Base AXI4 converter: serves regular (non-packed) bursts.
+
+This converter is what makes the controller a drop-in replacement for a
+plain AXI4 memory controller: contiguous INCR bursts are striped across the
+word lanes at one full-width beat per cycle, and narrow (element-per-beat)
+transfers — the BASE system's strided/indexed fallback — are served one
+element at a time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.axi.signals import BBeat, RBeat
+from repro.axi.transaction import BusRequest
+from repro.controller.context import AdapterContext
+from repro.controller.converter import Converter
+from repro.controller.pipes import ReadPipe, WritePipe
+from repro.controller.planners import plan_contiguous_beats, plan_narrow_beats
+from repro.mem.words import WordRequest
+
+#: Upper bound on beats buffered in the read pipe before new bursts stall.
+_MAX_PENDING_READ_BEATS = 512
+
+
+class BaseAxi4Converter(Converter):
+    """Backward-compatible converter for plain AXI4 read and write bursts."""
+
+    def __init__(self, name: str, ctx: AdapterContext) -> None:
+        super().__init__(name, ctx)
+        self._reads = ReadPipe(f"{name}.read", ctx.config, ctx.stats)
+        self._writes = WritePipe(f"{name}.write", ctx.config, ctx.stats)
+        self._read_seq = 0
+        self._write_seq = 0
+
+    # ------------------------------------------------------------ acceptance
+    def can_accept_read(self, request: BusRequest) -> bool:
+        if request.is_packed:
+            return False
+        return self._reads.pending_beats() + request.num_beats <= _MAX_PENDING_READ_BEATS
+
+    def accept_read(self, request: BusRequest) -> None:
+        planner = plan_contiguous_beats if request.contiguous else plan_narrow_beats
+        plans = planner(
+            request,
+            self.ctx.config.word_bytes,
+            self.ctx.config.bus_words,
+            self._read_seq,
+        )
+        self._read_seq += 1
+        self._reads.accept(request, plans)
+        self.ctx.stats.add("controller.base.read_bursts")
+
+    def can_accept_write(self, request: BusRequest) -> bool:
+        if request.is_packed:
+            return False
+        return len(self._writes._bursts) < self.ctx.config.max_pipelined_bursts
+
+    def accept_write(self, request: BusRequest) -> None:
+        planner = plan_contiguous_beats if request.contiguous else plan_narrow_beats
+        plans = planner(
+            request,
+            self.ctx.config.word_bytes,
+            self.ctx.config.bus_words,
+            self._write_seq,
+        )
+        self._write_seq += 1
+        self._writes.accept(request, iter(plans))
+        self.ctx.stats.add("controller.base.write_bursts")
+
+    def take_w_beat(self, payload: bytes) -> None:
+        self._writes.take_w_beat(payload)
+
+    # ----------------------------------------------------------------- cycle
+    def issue(self, free_ports: Set[int], out: List[WordRequest]) -> None:
+        self._reads.issue(free_ports, out)
+        self._writes.issue(free_ports, out)
+
+    def pop_ready_r_beat(self) -> Optional[RBeat]:
+        return self._reads.pop_ready_r_beat()
+
+    def pop_ready_b_beat(self) -> Optional[BBeat]:
+        return self._writes.pop_ready_b_beat()
+
+    # ----------------------------------------------------------------- state
+    def busy(self) -> bool:
+        return self._reads.busy() or self._writes.busy()
+
+    def reset(self) -> None:
+        self._reads.reset()
+        self._writes.reset()

@@ -1,0 +1,93 @@
+"""Shared configuration and context for the adapter and its converters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.stats import StatsRegistry
+from repro.utils.bitutils import is_power_of_two
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class AdapterConfig:
+    """Static parameters of the AXI-Pack adapter.
+
+    Attributes
+    ----------
+    bus_bytes:
+        Width of the AXI data buses (R and W) in bytes.
+    word_bytes:
+        Width of one memory bank word; this is the smallest element size the
+        controller handles efficiently (paper: 32 bit).
+    queue_depth:
+        Depth of the per-word-lane decoupling queues; the request regulator
+        never allows more than this many word accesses in flight per lane
+        (paper default 4; raised to 32 for the §III-E sensitivity study).
+    max_pipelined_bursts:
+        How many accepted-but-unfinished bursts a converter may hold; lets
+        back-to-back bursts keep the word lanes busy.
+    """
+
+    bus_bytes: int = 32
+    word_bytes: int = 4
+    queue_depth: int = 4
+    max_pipelined_bursts: int = 4
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.bus_bytes) or not is_power_of_two(self.word_bytes):
+            raise ConfigurationError("bus and word widths must be powers of two")
+        if self.bus_bytes % self.word_bytes != 0:
+            raise ConfigurationError(
+                f"bus width {self.bus_bytes}B must be a multiple of the word "
+                f"width {self.word_bytes}B"
+            )
+        check_positive("queue_depth", self.queue_depth)
+        check_positive("max_pipelined_bursts", self.max_pipelined_bursts)
+
+    @property
+    def bus_words(self) -> int:
+        """Number of word lanes (``n = D / W`` in the paper)."""
+        return self.bus_bytes // self.word_bytes
+
+
+class AdapterContext:
+    """Mutable state shared between the adapter and its converters.
+
+    The context tracks, per word lane, how many word accesses are currently
+    in flight.  This is the *request regulator* of Fig. 2c: it prevents the
+    decoupling queues from overflowing by refusing to issue more requests
+    than the queues can absorb.
+    """
+
+    def __init__(self, config: AdapterConfig, stats: Optional[StatsRegistry] = None) -> None:
+        self.config = config
+        self.stats = stats if stats is not None else StatsRegistry()
+        self._in_flight = [0] * config.bus_words
+
+    # ----------------------------------------------------------- regulation
+    def can_issue(self, port: int) -> bool:
+        """True if the regulator allows another word access on ``port``."""
+        return self._in_flight[port] < self.config.queue_depth
+
+    def note_issue(self, port: int) -> None:
+        """Record that a word access was issued on ``port``."""
+        self._in_flight[port] += 1
+
+    def note_retire(self, port: int) -> None:
+        """Record that a word access on ``port`` completed."""
+        if self._in_flight[port] <= 0:
+            raise ConfigurationError(
+                f"request regulator underflow on port {port}"
+            )
+        self._in_flight[port] -= 1
+
+    def in_flight(self, port: int) -> int:
+        """Number of word accesses currently in flight on ``port``."""
+        return self._in_flight[port]
+
+    def reset(self) -> None:
+        """Clear all in-flight counters."""
+        self._in_flight = [0] * self.config.bus_words

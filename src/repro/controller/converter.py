@@ -1,0 +1,71 @@
+"""Common converter interface used by the adapter."""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Set
+
+from repro.axi.signals import BBeat, RBeat
+from repro.axi.transaction import BusRequest
+from repro.controller.context import AdapterContext
+from repro.mem.words import WordRequest
+
+
+class Converter(abc.ABC):
+    """One of the adapter's five burst converters.
+
+    Converters are not simulation components on their own; the adapter owns
+    them and calls into them during its tick.  All port usage, R/B emission
+    and W-data routing is mediated by the adapter so that the shared
+    resources (one beat per channel per cycle, one access per word port per
+    cycle) are arbitrated in a single place — the "bank port mux" of Fig. 2b.
+    """
+
+    def __init__(self, name: str, ctx: AdapterContext) -> None:
+        self.name = name
+        self.ctx = ctx
+
+    # ------------------------------------------------------------ acceptance
+    def can_accept_read(self, request: BusRequest) -> bool:
+        """True if the converter can take this read burst now."""
+        return False
+
+    def accept_read(self, request: BusRequest) -> None:
+        """Take ownership of a read burst."""
+        raise NotImplementedError(f"{self.name} does not handle reads")
+
+    def can_accept_write(self, request: BusRequest) -> bool:
+        """True if the converter can take this write burst now."""
+        return False
+
+    def accept_write(self, request: BusRequest) -> None:
+        """Take ownership of a write burst."""
+        raise NotImplementedError(f"{self.name} does not handle writes")
+
+    def take_w_beat(self, payload: bytes) -> None:
+        """Deliver one W data beat for the oldest accepted write burst."""
+        raise NotImplementedError(f"{self.name} does not consume W data")
+
+    # ----------------------------------------------------------------- cycle
+    def step(self, cycle: int) -> None:
+        """Internal per-cycle housekeeping (index extraction, planning)."""
+
+    @abc.abstractmethod
+    def issue(self, free_ports: Set[int], out: List[WordRequest]) -> None:
+        """Issue word accesses this cycle using only the given free ports."""
+
+    def pop_ready_r_beat(self) -> Optional[RBeat]:
+        """Return a packed R beat if one is ready for the bus."""
+        return None
+
+    def pop_ready_b_beat(self) -> Optional[BBeat]:
+        """Return a B response if a write burst has fully completed."""
+        return None
+
+    # ----------------------------------------------------------------- state
+    @abc.abstractmethod
+    def busy(self) -> bool:
+        """True while the converter holds any unfinished burst."""
+
+    def reset(self) -> None:
+        """Drop all in-flight state."""

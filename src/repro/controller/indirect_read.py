@@ -1,0 +1,157 @@
+"""Indirect read converter (paper Fig. 2d).
+
+Two stages share the word request ports:
+
+* the **index stage** fetches the burst's index array from memory one
+  bus-wide line at a time (contiguous word reads) and extracts individual
+  indices from the returned lines;
+* the **element stage** shifts each index by the element size, adds the base
+  address, fetches the scattered elements, and packs them into R beats.
+
+The element stage has priority for the ports; the index stage fills the
+cycles the element stage leaves idle (it runs ahead exactly one line in
+steady state, which is what bounds the ideal utilization at ``r / (r + 1)``
+for an element-to-index size ratio of ``r`` — see paper §III-E).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Set
+
+import numpy as np
+
+from repro.axi.pack import PackMode
+from repro.axi.signals import RBeat
+from repro.axi.transaction import BusRequest
+from repro.controller.context import AdapterContext
+from repro.controller.converter import Converter
+from repro.controller.pipes import ReadPipe
+from repro.controller.planners import plan_index_fetch_beats, plan_indexed_beat
+from repro.mem.words import WordRequest
+
+_INDEX_DTYPES = {1: np.uint8, 2: np.uint16, 4: np.uint32, 8: np.uint64}
+
+
+class _ActiveIndirectRead:
+    """Per-burst progress of the two-stage indirect read."""
+
+    def __init__(self, request: BusRequest) -> None:
+        self.request = request
+        self.index_buffer: Deque[int] = deque()
+        self.elements_planned = 0
+        self.next_beat = 0
+
+    @property
+    def fully_planned(self) -> bool:
+        return self.elements_planned >= self.request.num_elements
+
+
+class IndirectReadConverter(Converter):
+    """Serves AXI-Pack indirect read bursts with bank-side indirection."""
+
+    def __init__(self, name: str, ctx: AdapterContext) -> None:
+        super().__init__(name, ctx)
+        self._index_pipe = ReadPipe(f"{name}.index", ctx.config, ctx.stats)
+        self._element_pipe = ReadPipe(f"{name}.element", ctx.config, ctx.stats)
+        self._bursts: Deque[_ActiveIndirectRead] = deque()
+        self._by_txn: Dict[int, _ActiveIndirectRead] = {}
+        self._seq = 0
+
+    # ------------------------------------------------------------ acceptance
+    def can_accept_read(self, request: BusRequest) -> bool:
+        if request.mode is not PackMode.INDIRECT or request.is_write:
+            return False
+        return len(self._bursts) < self.ctx.config.max_pipelined_bursts
+
+    def accept_read(self, request: BusRequest) -> None:
+        active = _ActiveIndirectRead(request)
+        self._bursts.append(active)
+        self._by_txn[request.txn_id] = active
+        config = self.ctx.config
+        index_plans = plan_index_fetch_beats(
+            index_base=request.index_base,
+            num_indices=request.num_elements,
+            index_bytes=request.pack.index_bytes,
+            bus_bytes=config.bus_bytes,
+            word_bytes=config.word_bytes,
+            bus_words=config.bus_words,
+            txn_id=request.txn_id,
+            burst_seq=self._seq,
+        )
+        self._seq += 1
+        self._index_pipe.accept(request, index_plans)
+        self.ctx.stats.add("controller.indirect_read.bursts")
+
+    # ----------------------------------------------------------------- cycle
+    def step(self, cycle: int) -> None:
+        self._extract_indices()
+        self._plan_element_beats()
+
+    def _extract_indices(self) -> None:
+        """Offsets extraction: turn returned index lines into index values."""
+        while True:
+            ready = self._index_pipe.pop_ready_beat()
+            if ready is None:
+                return
+            _plan, data, request = ready
+            dtype = _INDEX_DTYPES[request.pack.index_bytes]
+            indices = np.frombuffer(data, dtype=dtype)
+            active = self._by_txn.get(request.txn_id)
+            if active is not None:
+                active.index_buffer.extend(int(i) for i in indices)
+            self.ctx.stats.add("controller.indirect_read.index_lines")
+
+    def _plan_element_beats(self) -> None:
+        """Element request generation for the oldest incompletely planned burst."""
+        for active in self._bursts:
+            if active.fully_planned:
+                continue
+            request = active.request
+            elems_per_beat = request.bus_bytes // request.elem_bytes
+            while not active.fully_planned:
+                remaining = request.num_elements - active.elements_planned
+                beat_elems = min(elems_per_beat, remaining)
+                if len(active.index_buffer) < beat_elems:
+                    return  # wait for more indices before planning further
+                offsets = [active.index_buffer.popleft() for _ in range(beat_elems)]
+                plan = plan_indexed_beat(
+                    request=request,
+                    beat=active.next_beat,
+                    element_offsets=offsets,
+                    word_bytes=self.ctx.config.word_bytes,
+                    bus_words=self.ctx.config.bus_words,
+                    burst_seq=0,
+                )
+                self._element_pipe.add_plans(request, [plan])
+                active.elements_planned += beat_elems
+                active.next_beat += 1
+            return  # keep burst order: never plan burst k+1 before k is done
+
+    def issue(self, free_ports: Set[int], out: List[WordRequest]) -> None:
+        # Element fetches have priority; index fetches use the leftover ports.
+        self._element_pipe.issue(free_ports, out)
+        self._index_pipe.issue(free_ports, out)
+
+    def pop_ready_r_beat(self) -> Optional[RBeat]:
+        beat = self._element_pipe.pop_ready_r_beat()
+        if beat is not None:
+            self._retire_finished_bursts()
+        return beat
+
+    def _retire_finished_bursts(self) -> None:
+        while self._bursts and self._bursts[0].fully_planned:
+            # A burst record is only needed until all its beats are planned;
+            # emission is tracked by the element pipe itself.
+            finished = self._bursts.popleft()
+            self._by_txn.pop(finished.request.txn_id, None)
+
+    # ----------------------------------------------------------------- state
+    def busy(self) -> bool:
+        return bool(self._bursts) or self._index_pipe.busy() or self._element_pipe.busy()
+
+    def reset(self) -> None:
+        self._bursts.clear()
+        self._by_txn.clear()
+        self._index_pipe.reset()
+        self._element_pipe.reset()

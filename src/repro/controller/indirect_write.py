@@ -1,0 +1,154 @@
+"""Indirect write converter.
+
+Like the indirect read converter, but the element stage is a beat *unpacker*:
+once the indices of a W beat's elements are known, the packed write data is
+scattered to the indexed addresses as parallel word writes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Set
+
+import numpy as np
+
+from repro.axi.pack import PackMode
+from repro.axi.signals import BBeat
+from repro.axi.transaction import BusRequest
+from repro.controller.context import AdapterContext
+from repro.controller.converter import Converter
+from repro.controller.pipes import ReadPipe, WritePipe
+from repro.controller.planners import plan_index_fetch_beats, plan_indexed_beat
+from repro.mem.words import WordRequest
+
+_INDEX_DTYPES = {1: np.uint8, 2: np.uint16, 4: np.uint32, 8: np.uint64}
+
+
+class _ActiveIndirectWrite:
+    """Per-burst progress of the two-stage indirect write."""
+
+    def __init__(self, request: BusRequest, wpipe_burst) -> None:
+        self.request = request
+        self.wpipe_burst = wpipe_burst
+        self.index_buffer: Deque[int] = deque()
+        self.payloads: Deque[bytes] = deque()
+        self.elements_planned = 0
+        self.next_beat = 0
+
+    @property
+    def fully_planned(self) -> bool:
+        return self.elements_planned >= self.request.num_elements
+
+
+class IndirectWriteConverter(Converter):
+    """Serves AXI-Pack indirect write bursts with bank-side indirection."""
+
+    def __init__(self, name: str, ctx: AdapterContext) -> None:
+        super().__init__(name, ctx)
+        self._index_pipe = ReadPipe(f"{name}.index", ctx.config, ctx.stats)
+        self._write_pipe = WritePipe(f"{name}.element", ctx.config, ctx.stats)
+        self._bursts: Deque[_ActiveIndirectWrite] = deque()
+        self._by_txn: Dict[int, _ActiveIndirectWrite] = {}
+        self._seq = 0
+
+    # ------------------------------------------------------------ acceptance
+    def can_accept_write(self, request: BusRequest) -> bool:
+        if request.mode is not PackMode.INDIRECT or not request.is_write:
+            return False
+        return len(self._bursts) < self.ctx.config.max_pipelined_bursts
+
+    def accept_write(self, request: BusRequest) -> None:
+        wpipe_burst = self._write_pipe.accept(request, planner=None)
+        active = _ActiveIndirectWrite(request, wpipe_burst)
+        self._bursts.append(active)
+        self._by_txn[request.txn_id] = active
+        config = self.ctx.config
+        index_plans = plan_index_fetch_beats(
+            index_base=request.index_base,
+            num_indices=request.num_elements,
+            index_bytes=request.pack.index_bytes,
+            bus_bytes=config.bus_bytes,
+            word_bytes=config.word_bytes,
+            bus_words=config.bus_words,
+            txn_id=request.txn_id,
+            burst_seq=self._seq,
+        )
+        self._seq += 1
+        self._index_pipe.accept(request, index_plans)
+        self.ctx.stats.add("controller.indirect_write.bursts")
+
+    def take_w_beat(self, payload: bytes) -> None:
+        burst = self._write_pipe.take_w_beat(payload)
+        for active in self._bursts:
+            if active.wpipe_burst is burst:
+                active.payloads.append(bytes(payload))
+                return
+
+    # ----------------------------------------------------------------- cycle
+    def step(self, cycle: int) -> None:
+        self._extract_indices()
+        self._plan_write_beats()
+
+    def _extract_indices(self) -> None:
+        while True:
+            ready = self._index_pipe.pop_ready_beat()
+            if ready is None:
+                return
+            _plan, data, request = ready
+            dtype = _INDEX_DTYPES[request.pack.index_bytes]
+            indices = np.frombuffer(data, dtype=dtype)
+            active = self._by_txn.get(request.txn_id)
+            if active is not None:
+                active.index_buffer.extend(int(i) for i in indices)
+            self.ctx.stats.add("controller.indirect_write.index_lines")
+
+    def _plan_write_beats(self) -> None:
+        for active in self._bursts:
+            if active.fully_planned:
+                continue
+            request = active.request
+            elems_per_beat = request.bus_bytes // request.elem_bytes
+            while not active.fully_planned:
+                remaining = request.num_elements - active.elements_planned
+                beat_elems = min(elems_per_beat, remaining)
+                if len(active.index_buffer) < beat_elems or not active.payloads:
+                    return
+                offsets = [active.index_buffer.popleft() for _ in range(beat_elems)]
+                plan = plan_indexed_beat(
+                    request=request,
+                    beat=active.next_beat,
+                    element_offsets=offsets,
+                    word_bytes=self.ctx.config.word_bytes,
+                    bus_words=self.ctx.config.bus_words,
+                    burst_seq=0,
+                )
+                payload = active.payloads.popleft()
+                self._write_pipe.add_beat(plan, payload, active.wpipe_burst)
+                active.elements_planned += beat_elems
+                active.next_beat += 1
+            return
+
+    def issue(self, free_ports: Set[int], out: List[WordRequest]) -> None:
+        self._write_pipe.issue(free_ports, out)
+        self._index_pipe.issue(free_ports, out)
+
+    def pop_ready_b_beat(self) -> Optional[BBeat]:
+        beat = self._write_pipe.pop_ready_b_beat()
+        if beat is not None:
+            self._retire_finished_bursts()
+        return beat
+
+    def _retire_finished_bursts(self) -> None:
+        while self._bursts and self._bursts[0].fully_planned and self._bursts[0].wpipe_burst.complete:
+            finished = self._bursts.popleft()
+            self._by_txn.pop(finished.request.txn_id, None)
+
+    # ----------------------------------------------------------------- state
+    def busy(self) -> bool:
+        return bool(self._bursts) or self._index_pipe.busy() or self._write_pipe.busy()
+
+    def reset(self) -> None:
+        self._bursts.clear()
+        self._by_txn.clear()
+        self._index_pipe.reset()
+        self._write_pipe.reset()

@@ -1,0 +1,287 @@
+"""Generic read/write word-access pipelines shared by all converters.
+
+A converter is, structurally, the combination of
+
+* a *planner* that turns a burst into per-beat word-access plans
+  (:mod:`repro.controller.planners`),
+* a :class:`ReadPipe` or :class:`WritePipe` that issues those word accesses
+  to the banks in order, subject to the request regulator, collects the
+  responses, and re-packs (reads) or unpacks (writes) beats, and
+* converter-specific glue (the index stage of the indirect converters).
+
+Keeping the pipes generic means the strided, indirect and base converters
+share one well-tested engine and differ only in their planners — mirroring
+how the RTL converters share the beat packer / info queue structure.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.axi.signals import BBeat, RBeat
+from repro.axi.transaction import BusRequest
+from repro.controller.context import AdapterConfig
+from repro.controller.plans import BeatPlan, ReadBeatState, WordSlot, WriteBeatState
+from repro.controller.regulator import RequestRegulator
+from repro.errors import SimulationError
+from repro.mem.words import WordRequest
+from repro.sim.stats import StatsRegistry
+
+
+class ReadPipe:
+    """Issues word reads beat by beat and re-packs the returned words.
+
+    Beats are issued and completed strictly in order, which keeps the R
+    channel ordering rules trivially satisfied and matches the info-queue
+    discipline of the RTL beat packer.
+    """
+
+    def __init__(self, name: str, config: AdapterConfig, stats: StatsRegistry) -> None:
+        self.name = name
+        self.config = config
+        self.stats = stats
+        self.regulator = RequestRegulator(config.bus_words, config.queue_depth)
+        self._beats: Deque[Tuple[ReadBeatState, BusRequest]] = deque()
+        self._issue_cursor = 0  # index into _beats of the first beat with unissued slots
+        self._next_slot = 0  # next slot to issue within that beat
+        self._accepted_bursts = 0
+
+    # -------------------------------------------------------------- planning
+    def add_plans(self, request: BusRequest, plans: Iterable[BeatPlan]) -> None:
+        """Queue pre-computed beat plans belonging to ``request``."""
+        for plan in plans:
+            self._beats.append((ReadBeatState.from_plan(plan), request))
+
+    def accept(self, request: BusRequest, plans: Iterable[BeatPlan]) -> None:
+        """Accept a burst whose beats are fully described by ``plans``."""
+        self._accepted_bursts += 1
+        self.add_plans(request, plans)
+
+    # --------------------------------------------------------------- issuing
+    def issue(self, free_ports: Set[int], out: List[WordRequest]) -> None:
+        """Issue word reads in order, using only ``free_ports``.
+
+        Ports used are removed from ``free_ports`` so other pipes sharing the
+        memory ports this cycle cannot double-book them.  Issue stops at the
+        first slot whose port is unavailable or regulator-blocked, preserving
+        the in-order request discipline of the RTL request generator.
+        """
+        while self._issue_cursor < len(self._beats):
+            state, _request = self._beats[self._issue_cursor]
+            slots = state.plan.slots
+            while self._next_slot < len(slots):
+                slot = slots[self._next_slot]
+                if slot.port not in free_ports or not self.regulator.can_issue(slot.port):
+                    return
+                free_ports.discard(slot.port)
+                self.regulator.note_issue(slot.port)
+                out.append(
+                    WordRequest(
+                        port=slot.port,
+                        word_addr=slot.word_addr,
+                        is_write=False,
+                        tag=(self, state, slot),
+                    )
+                )
+                self._next_slot += 1
+            self._issue_cursor += 1
+            self._next_slot = 0
+
+    # ------------------------------------------------------------- responses
+    def take_response(self, state: ReadBeatState, slot: WordSlot, data: bytes) -> None:
+        """Deliver one returned word to its beat."""
+        state.fill(slot, bytes(data))
+        self.regulator.note_retire(slot.port)
+
+    # --------------------------------------------------------------- packing
+    def pop_ready_beat(self) -> Optional[Tuple[BeatPlan, bytes, BusRequest]]:
+        """Return the oldest beat if it is complete, removing it from the pipe."""
+        if not self._beats:
+            return None
+        state, request = self._beats[0]
+        if not state.complete:
+            return None
+        self._beats.popleft()
+        if self._issue_cursor > 0:
+            self._issue_cursor -= 1
+        elif state.plan.slots:
+            # A beat with word accesses cannot complete before they were issued.
+            raise SimulationError(
+                f"{self.name}: beat completed before all slots were issued"
+            )
+        return state.plan, bytes(state.data), request
+
+    def pop_ready_r_beat(self) -> Optional[RBeat]:
+        """Like :meth:`pop_ready_beat` but wrapped as an R-channel beat."""
+        ready = self.pop_ready_beat()
+        if ready is None:
+            return None
+        plan, data, _request = ready
+        return RBeat(
+            txn_id=plan.txn_id,
+            data=data,
+            useful_bytes=plan.useful_bytes,
+            last=plan.last,
+        )
+
+    # ------------------------------------------------------------------ state
+    def busy(self) -> bool:
+        """True while any beat is pending issue, in flight or awaiting packing."""
+        return bool(self._beats)
+
+    def pending_beats(self) -> int:
+        """Number of beats currently tracked by the pipe."""
+        return len(self._beats)
+
+    def reset(self) -> None:
+        """Drop all state (component reset)."""
+        self._beats.clear()
+        self._issue_cursor = 0
+        self._next_slot = 0
+        self.regulator.reset()
+
+
+class _ActiveWriteBurst:
+    """Book-keeping for one write burst travelling through a WritePipe."""
+
+    def __init__(self, request: BusRequest, planner: Optional[Iterator[BeatPlan]]) -> None:
+        self.request = request
+        self.planner = planner
+        self.w_beats_received = 0
+        self.beats_completed = 0
+
+    @property
+    def all_w_received(self) -> bool:
+        return self.w_beats_received >= self.request.num_beats
+
+    @property
+    def complete(self) -> bool:
+        return self.beats_completed >= self.request.num_beats
+
+
+class WritePipe:
+    """Unpacks W beats into word writes and tracks their acknowledgements."""
+
+    def __init__(self, name: str, config: AdapterConfig, stats: StatsRegistry) -> None:
+        self.name = name
+        self.config = config
+        self.stats = stats
+        self.regulator = RequestRegulator(config.bus_words, config.queue_depth)
+        self._bursts: Deque[_ActiveWriteBurst] = deque()
+        self._beats: Deque[Tuple[WriteBeatState, _ActiveWriteBurst]] = deque()
+        self._issue_index = 0  # index of first beat with unissued slots
+
+    # -------------------------------------------------------------- planning
+    def accept(
+        self, request: BusRequest, planner: Optional[Iterator[BeatPlan]]
+    ) -> _ActiveWriteBurst:
+        """Accept a write burst and return its tracking record.
+
+        ``planner`` yields one plan per W beat as the data arrives; indirect
+        converters pass ``None`` and add beats explicitly once the indices
+        are known (see :meth:`add_beat`).
+        """
+        burst = _ActiveWriteBurst(request, planner)
+        self._bursts.append(burst)
+        return burst
+
+    def expecting_w_data(self) -> bool:
+        """True if some accepted burst still waits for W beats."""
+        return any(not burst.all_w_received for burst in self._bursts)
+
+    def take_w_beat(self, payload: bytes) -> Optional[_ActiveWriteBurst]:
+        """Deliver one W data beat to the oldest burst still expecting data.
+
+        For planner-driven bursts the beat plan is materialized immediately;
+        bursts without a planner (indirect) record the payload via the caller,
+        which must call :meth:`add_beat` itself.  Returns the burst the beat
+        belongs to, or None if no burst expected data.
+        """
+        for burst in self._bursts:
+            if not burst.all_w_received:
+                burst.w_beats_received += 1
+                if burst.planner is not None:
+                    plan = next(burst.planner)
+                    self.add_beat(plan, payload, burst)
+                return burst
+        return None
+
+    def add_beat(self, plan: BeatPlan, payload: bytes, burst: _ActiveWriteBurst) -> None:
+        """Queue one fully planned write beat with its payload."""
+        state = WriteBeatState(plan=plan, payload=bytes(payload))
+        self._beats.append((state, burst))
+
+    # --------------------------------------------------------------- issuing
+    def issue(self, free_ports: Set[int], out: List[WordRequest]) -> None:
+        """Issue word writes in order, using only ``free_ports``."""
+        while self._issue_index < len(self._beats):
+            state, _burst = self._beats[self._issue_index]
+            slots = state.plan.slots
+            while state.next_slot < len(slots):
+                slot = slots[state.next_slot]
+                if slot.port not in free_ports or not self.regulator.can_issue(slot.port):
+                    return
+                free_ports.discard(slot.port)
+                self.regulator.note_issue(slot.port)
+                out.append(
+                    WordRequest(
+                        port=slot.port,
+                        word_addr=slot.word_addr,
+                        is_write=True,
+                        data=self._word_write_data(state, slot),
+                        tag=(self, state, slot),
+                    )
+                )
+                state.next_slot += 1
+                state.acks_pending += 1
+            self._issue_index += 1
+
+    def _word_write_data(self, state: WriteBeatState, slot: WordSlot):
+        """Full word of write data for one slot (partial words are rejected)."""
+        if slot.nbytes != self.config.word_bytes or slot.byte_shift != 0:
+            raise SimulationError(
+                f"{self.name}: partial-word write at word {slot.word_addr:#x} — "
+                "the model requires word-aligned write payloads"
+            )
+        return state.slot_data(slot)
+
+    # ------------------------------------------------------------- responses
+    def take_ack(self, state: WriteBeatState, slot: WordSlot) -> None:
+        """Deliver one word-write acknowledgement."""
+        state.acks_pending -= 1
+        self.regulator.note_retire(slot.port)
+
+    # -------------------------------------------------------------- emission
+    def pop_ready_b_beat(self) -> Optional[BBeat]:
+        """Return a B beat once the oldest burst's writes are all complete."""
+        self._retire_completed_beats()
+        if not self._bursts:
+            return None
+        burst = self._bursts[0]
+        if burst.all_w_received and burst.complete:
+            self._bursts.popleft()
+            return BBeat(txn_id=burst.request.txn_id)
+        return None
+
+    def _retire_completed_beats(self) -> None:
+        while self._beats:
+            state, burst = self._beats[0]
+            if not state.complete:
+                break
+            self._beats.popleft()
+            if self._issue_index > 0:
+                self._issue_index -= 1
+            burst.beats_completed += 1
+
+    # ------------------------------------------------------------------ state
+    def busy(self) -> bool:
+        """True while any burst or beat is still in progress."""
+        return bool(self._bursts) or bool(self._beats)
+
+    def reset(self) -> None:
+        """Drop all state (component reset)."""
+        self._bursts.clear()
+        self._beats.clear()
+        self._issue_index = 0
+        self.regulator.reset()

@@ -1,0 +1,105 @@
+"""Beat plans: the metadata the converters push through their info queues.
+
+A *beat plan* records, for one beat of one burst, which word accesses must be
+performed and where each word's bytes sit inside the (packed) beat payload.
+For reads this is the metadata the beat packer consumes; for writes it drives
+the beat unpacker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class WordSlot:
+    """One word access belonging to a beat.
+
+    Attributes
+    ----------
+    port:
+        Word lane the access is issued on (0 .. n-1).
+    word_addr:
+        Target word address (byte address // word size).
+    offset:
+        Byte offset of this word's data inside the beat payload.
+    nbytes:
+        Number of bytes of this word that belong to the payload (normally the
+        full word; smaller only for unaligned contiguous edges).
+    byte_shift:
+        Offset inside the memory word where the payload bytes start (non-zero
+        only for unaligned contiguous edges).
+    """
+
+    port: int
+    word_addr: int
+    offset: int
+    nbytes: int
+    byte_shift: int = 0
+
+
+@dataclass
+class BeatPlan:
+    """All word accesses of one beat plus packing bookkeeping."""
+
+    burst_seq: int
+    beat_index: int
+    txn_id: int
+    useful_bytes: int
+    last: bool
+    slots: List[WordSlot] = field(default_factory=list)
+
+    @property
+    def num_words(self) -> int:
+        """Number of word accesses the beat requires."""
+        return len(self.slots)
+
+
+@dataclass
+class ReadBeatState:
+    """In-flight tracking of a read beat: collected words and completion."""
+
+    plan: BeatPlan
+    remaining: int
+    data: bytearray
+
+    @classmethod
+    def from_plan(cls, plan: BeatPlan) -> "ReadBeatState":
+        """Create fresh tracking state for a planned beat."""
+        return cls(plan=plan, remaining=plan.num_words, data=bytearray(plan.useful_bytes))
+
+    def fill(self, slot: WordSlot, word_data: bytes) -> None:
+        """Place one returned word into the packed beat payload."""
+        chunk = word_data[slot.byte_shift : slot.byte_shift + slot.nbytes]
+        self.data[slot.offset : slot.offset + slot.nbytes] = chunk
+        self.remaining -= 1
+
+    @property
+    def complete(self) -> bool:
+        """True once every word of the beat has returned."""
+        return self.remaining == 0
+
+
+@dataclass
+class WriteBeatState:
+    """In-flight tracking of a write beat: issued words and acknowledgements."""
+
+    plan: BeatPlan
+    payload: bytes
+    next_slot: int = 0
+    acks_pending: int = 0
+
+    @property
+    def all_issued(self) -> bool:
+        """True once every word write of the beat has been issued."""
+        return self.next_slot >= len(self.plan.slots)
+
+    @property
+    def complete(self) -> bool:
+        """True once every word write has been issued and acknowledged."""
+        return self.all_issued and self.acks_pending == 0
+
+    def slot_data(self, slot: WordSlot) -> bytes:
+        """Extract the bytes of the payload that belong to one word slot."""
+        return bytes(self.payload[slot.offset : slot.offset + slot.nbytes])

@@ -1,0 +1,61 @@
+"""Strided read converter (paper Fig. 2c).
+
+For every beat of a packed strided burst, the request generator issues the
+parallel word reads of the elements to be packed; the info queue (modelled by
+the ordered beat states inside :class:`~repro.controller.pipes.ReadPipe`)
+remembers how to pack them; the beat packer assembles full R beats as the
+words return from the banks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.axi.pack import PackMode
+from repro.axi.signals import RBeat
+from repro.axi.transaction import BusRequest
+from repro.controller.context import AdapterContext
+from repro.controller.converter import Converter
+from repro.controller.pipes import ReadPipe
+from repro.controller.planners import plan_strided_beats
+from repro.mem.words import WordRequest
+
+#: Upper bound on beats buffered in the pipe before new bursts stall.
+_MAX_PENDING_BEATS = 1024
+
+
+class StridedReadConverter(Converter):
+    """Serves AXI-Pack strided read bursts."""
+
+    def __init__(self, name: str, ctx: AdapterContext) -> None:
+        super().__init__(name, ctx)
+        self._pipe = ReadPipe(name, ctx.config, ctx.stats)
+        self._seq = 0
+
+    def can_accept_read(self, request: BusRequest) -> bool:
+        if request.mode is not PackMode.STRIDED or request.is_write:
+            return False
+        return self._pipe.pending_beats() + request.num_beats <= _MAX_PENDING_BEATS
+
+    def accept_read(self, request: BusRequest) -> None:
+        plans = plan_strided_beats(
+            request,
+            self.ctx.config.word_bytes,
+            self.ctx.config.bus_words,
+            self._seq,
+        )
+        self._seq += 1
+        self._pipe.accept(request, plans)
+        self.ctx.stats.add("controller.strided_read.bursts")
+
+    def issue(self, free_ports: Set[int], out: List[WordRequest]) -> None:
+        self._pipe.issue(free_ports, out)
+
+    def pop_ready_r_beat(self) -> Optional[RBeat]:
+        return self._pipe.pop_ready_r_beat()
+
+    def busy(self) -> bool:
+        return self._pipe.busy()
+
+    def reset(self) -> None:
+        self._pipe.reset()

@@ -1,0 +1,57 @@
+"""Strided write converter.
+
+Mirror image of the strided read converter: a beat *unpacker* splits each
+incoming W beat into its scattered word writes (paper §II-C: the write
+converters "differ only in the direction of the datapath").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.axi.pack import PackMode
+from repro.axi.signals import BBeat
+from repro.axi.transaction import BusRequest
+from repro.controller.context import AdapterContext
+from repro.controller.converter import Converter
+from repro.controller.pipes import WritePipe
+from repro.controller.planners import plan_strided_beats
+from repro.mem.words import WordRequest
+
+
+class StridedWriteConverter(Converter):
+    """Serves AXI-Pack strided write bursts."""
+
+    def __init__(self, name: str, ctx: AdapterContext) -> None:
+        super().__init__(name, ctx)
+        self._pipe = WritePipe(name, ctx.config, ctx.stats)
+
+    def can_accept_write(self, request: BusRequest) -> bool:
+        if request.mode is not PackMode.STRIDED or not request.is_write:
+            return False
+        return len(self._pipe._bursts) < self.ctx.config.max_pipelined_bursts
+
+    def accept_write(self, request: BusRequest) -> None:
+        plans = plan_strided_beats(
+            request,
+            self.ctx.config.word_bytes,
+            self.ctx.config.bus_words,
+            burst_seq=0,
+        )
+        self._pipe.accept(request, iter(plans))
+        self.ctx.stats.add("controller.strided_write.bursts")
+
+    def take_w_beat(self, payload: bytes) -> None:
+        self._pipe.take_w_beat(payload)
+
+    def issue(self, free_ports: Set[int], out: List[WordRequest]) -> None:
+        self._pipe.issue(free_ports, out)
+
+    def pop_ready_b_beat(self) -> Optional[BBeat]:
+        return self._pipe.pop_ready_b_beat()
+
+    def busy(self) -> bool:
+        return self._pipe.busy()
+
+    def reset(self) -> None:
+        self._pipe.reset()

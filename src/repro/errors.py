@@ -1,0 +1,40 @@
+"""Exception hierarchy for the AXI-Pack reproduction library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch everything raised by this package with a single ``except`` clause
+while still being able to distinguish protocol violations from configuration
+or simulation problems.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class ProtocolError(ReproError):
+    """An AXI4 / AXI-Pack protocol rule was violated.
+
+    Examples: burst longer than 256 beats, a plain AXI4 INCR burst crossing a
+    4 KiB boundary, an AXI-Pack request with an unsupported element size, or a
+    write burst whose payload does not match its beat count.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent or impossible state."""
+
+
+class DeadlockError(SimulationError):
+    """The simulation made no forward progress for too many cycles."""
+
+
+class MemoryError_(ReproError):
+    """An access fell outside the modelled memory or was misaligned."""
+
+
+class WorkloadError(ReproError):
+    """A workload was built with invalid parameters or produced bad data."""

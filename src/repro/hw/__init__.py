@@ -1,0 +1,30 @@
+"""Calibrated hardware cost models: area, timing, power and energy.
+
+Python cannot run logic synthesis, so these models are analytic: their
+functional forms follow the structure of the RTL (component areas scale with
+the number of word lanes, prime-banked crossbars add modulo/divide units,
+power splits into a static part and activity-proportional parts) and their
+coefficients are calibrated to the numbers published in the paper (Fig. 4 and
+Fig. 5c).  They are driven by the activity statistics the simulator produces,
+so relative results (breakdowns, scaling trends, energy-efficiency ratios)
+are meaningful even though absolute silicon numbers are inherited from the
+paper rather than measured.
+"""
+
+from repro.hw.technology import TechnologyParams, GF22FDX
+from repro.hw.area import AdapterAreaModel, AreaBreakdown
+from repro.hw.crossbar_area import BankCrossbarAreaModel, CrossbarAreaBreakdown
+from repro.hw.timing import TimingModel
+from repro.hw.energy import EnergyModel, BenchmarkEnergyResult
+
+__all__ = [
+    "TechnologyParams",
+    "GF22FDX",
+    "AdapterAreaModel",
+    "AreaBreakdown",
+    "BankCrossbarAreaModel",
+    "CrossbarAreaBreakdown",
+    "TimingModel",
+    "EnergyModel",
+    "BenchmarkEnergyResult",
+]

@@ -1,0 +1,30 @@
+"""Technology parameters used by the analytic hardware models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TechnologyParams:
+    """Parameters describing the implementation technology.
+
+    The paper implements its systems in GlobalFoundries' 22 nm FD-SOI (22FDX)
+    at 0.72 V using low-Vt cells; the models only need a handful of derived
+    quantities.
+    """
+
+    name: str = "GF 22FDX"
+    #: nominal clock frequency of the evaluation systems (Hz)
+    nominal_clock_hz: float = 1.0e9
+    #: supply voltage used for the synthesis corner (V)
+    supply_volts: float = 0.72
+    #: area of Ara (the 8-lane vector processor) in kGE, used as the yardstick
+    #: for the "adapter is 6.2 % of Ara" headline
+    ara_area_kge: float = 4150.0
+    #: energy per gate-equivalent per toggle, arbitrary calibrated unit
+    energy_per_ge_toggle: float = 1.0e-6
+
+
+#: Default technology: the paper's GlobalFoundries 22FDX setup.
+GF22FDX = TechnologyParams()

@@ -1,0 +1,171 @@
+"""Cycle-level multi-banked SRAM with a port-to-bank crossbar.
+
+This models the memory the AXI-Pack controller sits in front of (paper
+§II-C): ``num_ports`` word-wide request ports connected through an
+``n x m`` crossbar to ``num_banks`` single-ported SRAM banks.  Each bank
+serves one word access per cycle; when several ports target the same bank in
+the same cycle, all but one stall — those stalls are the bank conflicts that
+limit the utilization curves of Fig. 5.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.mem.storage import MemoryStorage
+from repro.mem.words import BankAddressMap, WordRequest, WordResponse
+from repro.sim.component import Component
+from repro.sim.queue import DecoupledQueue
+from repro.sim.stats import StatsRegistry
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class BankedMemoryConfig:
+    """Static parameters of the banked memory.
+
+    The paper's evaluation systems use eight 32-bit word ports backed by 17
+    banks with single-cycle access latency.
+    """
+
+    num_ports: int = 8
+    num_banks: int = 17
+    word_bytes: int = 4
+    latency: int = 1
+    request_queue_depth: int = 4
+    response_queue_depth: int = 4
+    conflict_free: bool = False  #: True models the "ideal" memory of Fig. 5
+
+    def __post_init__(self) -> None:
+        check_positive("num_ports", self.num_ports)
+        check_positive("num_banks", self.num_banks)
+        check_positive("word_bytes", self.word_bytes)
+        check_positive("latency", self.latency)
+
+    @property
+    def address_map(self) -> BankAddressMap:
+        """The word-to-bank mapping implied by this configuration."""
+        return BankAddressMap(num_banks=self.num_banks, word_bytes=self.word_bytes)
+
+
+class BankedMemory(Component):
+    """The banked SRAM endpoint with per-port request/response queues.
+
+    Converters push :class:`~repro.mem.words.WordRequest` items into
+    ``request_queues[port]`` and receive :class:`WordResponse` items from
+    ``response_queues[port]``.  Responses on one port always return in
+    request order (fixed bank latency plus in-order issue per port).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        config: BankedMemoryConfig,
+        storage: MemoryStorage,
+        stats: Optional[StatsRegistry] = None,
+    ) -> None:
+        super().__init__(name)
+        self.config = config
+        self.storage = storage
+        self.stats = stats if stats is not None else StatsRegistry()
+        self.address_map = config.address_map
+        self.request_queues: List[DecoupledQueue[WordRequest]] = [
+            DecoupledQueue(f"{name}.req[{port}]", config.request_queue_depth)
+            for port in range(config.num_ports)
+        ]
+        self.response_queues: List[DecoupledQueue[WordResponse]] = [
+            DecoupledQueue(f"{name}.rsp[{port}]", config.response_queue_depth)
+            for port in range(config.num_ports)
+        ]
+        # In-flight accesses: (ready_cycle, response) kept in issue order per port.
+        self._in_flight: List[Deque[Tuple[int, WordResponse]]] = [
+            deque() for _ in range(config.num_ports)
+        ]
+        self._bank_last_grant: List[int] = [config.num_ports - 1] * config.num_banks
+
+    # ----------------------------------------------------------------- wiring
+    def all_queues(self) -> List[DecoupledQueue]:
+        """Every queue owned by the memory (for engine registration)."""
+        return [*self.request_queues, *self.response_queues]
+
+    # ------------------------------------------------------------------ tick
+    def tick(self, cycle: int) -> None:
+        self._deliver_responses(cycle)
+        self._accept_requests(cycle)
+
+    def _deliver_responses(self, cycle: int) -> None:
+        for port in range(self.config.num_ports):
+            in_flight = self._in_flight[port]
+            queue = self.response_queues[port]
+            while in_flight and in_flight[0][0] <= cycle and queue.can_push():
+                queue.push(in_flight.popleft()[1])
+
+    def _accept_requests(self, cycle: int) -> None:
+        config = self.config
+        word_bytes = config.word_bytes
+        # Group head-of-line requests by target bank.
+        claims: dict = {}
+        for port, queue in enumerate(self.request_queues):
+            if not queue.can_pop():
+                continue
+            # Hold issue if the response path is saturated to bound in-flight state.
+            if len(self._in_flight[port]) >= 4 * config.response_queue_depth:
+                continue
+            request = queue.peek()
+            bank = request.word_addr % config.num_banks
+            claims.setdefault(bank, []).append(port)
+        for bank, ports in claims.items():
+            if config.conflict_free:
+                granted_ports = ports
+            else:
+                granted_ports = [self._round_robin_pick(bank, ports)]
+                if len(ports) > 1:
+                    self.stats.add("mem.bank_conflicts", len(ports) - 1)
+            for port in granted_ports:
+                request = self.request_queues[port].pop()
+                response = self._perform_access(request, word_bytes)
+                self._in_flight[port].append((cycle + config.latency, response))
+                self.stats.add("mem.bank_accesses")
+                if request.is_write:
+                    self.stats.add("mem.word_writes")
+                else:
+                    self.stats.add("mem.word_reads")
+
+    def _round_robin_pick(self, bank: int, ports: List[int]) -> int:
+        last = self._bank_last_grant[bank]
+        num_ports = self.config.num_ports
+        best = min(ports, key=lambda p: (p - last - 1) % num_ports)
+        self._bank_last_grant[bank] = best
+        return best
+
+    def _perform_access(self, request: WordRequest, word_bytes: int) -> WordResponse:
+        byte_addr = request.word_addr * word_bytes
+        if request.is_write:
+            if request.data is None:
+                raise ConfigurationError("write word request without data")
+            self.storage.write(byte_addr, request.data)
+            return WordResponse(port=request.port, tag=request.tag, is_write=True)
+        data = self.storage.read(byte_addr, word_bytes)
+        return WordResponse(port=request.port, tag=request.tag, data=data)
+
+    # ------------------------------------------------------------------ state
+    def busy(self) -> bool:
+        if any(flight for flight in self._in_flight):
+            return True
+        if any(not queue.is_empty() for queue in self.request_queues):
+            return True
+        return any(not queue.is_empty() for queue in self.response_queues)
+
+    def reset(self) -> None:
+        for flight in self._in_flight:
+            flight.clear()
+        for queue in self.request_queues:
+            queue.clear()
+        for queue in self.response_queues:
+            queue.clear()
+        self._bank_last_grant = [self.config.num_ports - 1] * self.config.num_banks

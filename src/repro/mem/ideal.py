@@ -1,0 +1,133 @@
+"""Idealized memory endpoint used by the IDEAL reference system.
+
+The IDEAL system of the paper (§III-A) connects the vector unit to "an
+exclusive, idealized memory with one port per lane, serving data with ideal
+packing, bandwidth, and latency".  This endpoint therefore serves any burst
+at one full-width beat per cycle, with a fixed (small) latency, perfect
+packing and no bank conflicts.  It gives the upper bound that the PACK
+system is compared against.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+import numpy as np
+
+from repro.axi.port import AxiPort
+from repro.axi.signals import BBeat, RBeat, WBeat
+from repro.axi.transaction import BusRequest
+from repro.errors import ProtocolError
+from repro.mem.functional import read_burst_payload, write_burst_payload
+from repro.mem.storage import MemoryStorage
+from repro.sim.component import Component
+from repro.sim.stats import StatsRegistry
+
+
+class IdealMemoryEndpoint(Component):
+    """Serves AXI/AXI-Pack bursts at one fully packed beat per cycle."""
+
+    def __init__(
+        self,
+        name: str,
+        port: AxiPort,
+        storage: MemoryStorage,
+        latency: int = 2,
+        stats: Optional[StatsRegistry] = None,
+    ) -> None:
+        super().__init__(name)
+        self.port = port
+        self.storage = storage
+        self.latency = max(1, latency)
+        self.stats = stats if stats is not None else StatsRegistry()
+        # Active read: (request, payload bytes, next beat index, start cycle)
+        self._read: Optional[list] = None
+        self._read_backlog: Deque[BusRequest] = deque()
+        # Active write: (request, collected payload bytes, beats received)
+        self._write: Optional[list] = None
+
+    # ------------------------------------------------------------------ tick
+    def tick(self, cycle: int) -> None:
+        self._serve_reads(cycle)
+        self._serve_writes(cycle)
+
+    # ------------------------------------------------------------------ reads
+    def _serve_reads(self, cycle: int) -> None:
+        # Accept new read bursts eagerly so back-to-back bursts stream with no
+        # bubble — the IDEAL memory has perfect bandwidth and latency.
+        while self.port.ar.can_pop() and len(self._read_backlog) < 8:
+            self._read_backlog.append(self.port.ar.pop())
+        if self._read is None and self._read_backlog:
+            self._start_read(self._read_backlog.popleft(), cycle)
+        if self._read is None:
+            return
+        request, payload, beat_index, ready_cycle = self._read
+        if cycle < ready_cycle or not self.port.r.can_push():
+            return
+        bus_bytes = request.bus_bytes
+        start = beat_index * bus_bytes
+        chunk = payload[start : start + bus_bytes]
+        last = beat_index == request.num_beats - 1
+        self.port.r.push(
+            RBeat(
+                txn_id=request.txn_id,
+                data=chunk,
+                useful_bytes=len(chunk),
+                last=last,
+            )
+        )
+        self.stats.add("ideal.r_beats")
+        self.stats.add("ideal.r_useful_bytes", len(chunk))
+        if last:
+            self._read = None
+            if self._read_backlog:
+                # Start the next burst immediately; its data is ready the very
+                # next cycle (single-cycle idealized latency between bursts).
+                self._start_read(self._read_backlog.popleft(), cycle + 1 - self.latency)
+        else:
+            self._read[2] = beat_index + 1
+
+    def _start_read(self, request: BusRequest, cycle: int) -> None:
+        if request.is_write:
+            raise ProtocolError("write request arrived on the AR channel")
+        payload = read_burst_payload(self.storage, request)
+        self._read = [request, payload, 0, cycle + self.latency]
+
+    # ----------------------------------------------------------------- writes
+    def _serve_writes(self, cycle: int) -> None:
+        if self._write is None and self.port.aw.can_pop():
+            request = self.port.aw.pop()
+            if not request.is_write:
+                raise ProtocolError("read request arrived on the AW channel")
+            self._write = [request, [], 0]
+        if self._write is None:
+            return
+        request, chunks, beats = self._write
+        # Consume at most one W beat per cycle (one bus width of bandwidth).
+        if beats < request.num_beats and self.port.w.can_pop():
+            beat = self.port.w.pop()
+            data = beat.data
+            if isinstance(data, (bytes, bytearray, memoryview)):
+                chunk = np.frombuffer(data, dtype=np.uint8)[: beat.useful_bytes]
+            else:
+                chunk = np.asarray(data, dtype=np.uint8)[: beat.useful_bytes]
+            chunks.append(chunk)
+            beats += 1
+            self._write[2] = beats
+            self.stats.add("ideal.w_beats")
+            self.stats.add("ideal.w_useful_bytes", beat.useful_bytes)
+        if beats == request.num_beats and self.port.b.can_push():
+            payload = np.concatenate(chunks)[: request.payload_bytes]
+            write_burst_payload(self.storage, request, payload)
+            self.port.b.push(BBeat(txn_id=request.txn_id))
+            self._write = None
+
+    # ------------------------------------------------------------------ state
+    def busy(self) -> bool:
+        return self._read is not None or self._write is not None or bool(self._read_backlog)
+
+    def reset(self) -> None:
+        self._read = None
+        self._write = None
+        self._read_backlog.clear()

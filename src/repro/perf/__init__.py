@@ -1,0 +1,15 @@
+"""Fast analytic bandwidth model cross-validated against the cycle model."""
+
+from repro.perf.model import (
+    ideal_indirect_utilization,
+    ideal_narrow_utilization,
+    estimate_strided_read_utilization,
+    estimate_indirect_read_utilization,
+)
+
+__all__ = [
+    "ideal_indirect_utilization",
+    "ideal_narrow_utilization",
+    "estimate_strided_read_utilization",
+    "estimate_indirect_read_utilization",
+]

@@ -1,0 +1,25 @@
+"""Cycle-driven simulation kernel.
+
+The kernel is deliberately small: components expose a :meth:`Component.tick`
+method that is called once per cycle, and talk to each other exclusively
+through :class:`DecoupledQueue` objects that model ready/valid handshaked
+FIFOs.  Pushes performed during a cycle become visible to consumers at the
+start of the *next* cycle (registered outputs), which makes simulation
+results independent of the order in which components are ticked — the same
+property that makes the RTL design composable.
+"""
+
+from repro.sim.component import Component
+from repro.sim.queue import DecoupledQueue
+from repro.sim.arbiter import RoundRobinArbiter
+from repro.sim.engine import Engine
+from repro.sim.stats import Counter, StatsRegistry
+
+__all__ = [
+    "Component",
+    "DecoupledQueue",
+    "RoundRobinArbiter",
+    "Engine",
+    "Counter",
+    "StatsRegistry",
+]

@@ -1,0 +1,45 @@
+"""Round-robin arbitration, as used between the index and element stages."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.utils.validation import check_positive
+
+
+class RoundRobinArbiter:
+    """Fair round-robin arbiter over a fixed number of requestors.
+
+    The arbiter remembers the last granted requestor and, on each call to
+    :meth:`grant`, starts searching from the next one, so a persistently
+    requesting input cannot starve the others.  This mirrors the round-robin
+    sharing of the word request ports between the index stage and the element
+    stage of the indirect converters (paper §II-C).
+    """
+
+    def __init__(self, num_requestors: int) -> None:
+        self.num_requestors = check_positive("num_requestors", num_requestors)
+        self._last_grant = num_requestors - 1
+
+    def grant(self, requesting: Sequence[bool]) -> Optional[int]:
+        """Return the index of the granted requestor, or None if none request.
+
+        Parameters
+        ----------
+        requesting:
+            One boolean per requestor, True if it wants a grant this cycle.
+        """
+        if len(requesting) != self.num_requestors:
+            raise ValueError(
+                f"expected {self.num_requestors} request flags, got {len(requesting)}"
+            )
+        for offset in range(1, self.num_requestors + 1):
+            candidate = (self._last_grant + offset) % self.num_requestors
+            if requesting[candidate]:
+                self._last_grant = candidate
+                return candidate
+        return None
+
+    def reset(self) -> None:
+        """Return the arbiter to its post-reset priority order."""
+        self._last_grant = self.num_requestors - 1

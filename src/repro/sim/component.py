@@ -1,0 +1,40 @@
+"""Base class for cycle-driven hardware components."""
+
+from __future__ import annotations
+
+import abc
+
+
+class Component(abc.ABC):
+    """A hardware block that is evaluated once per simulated cycle.
+
+    Subclasses implement :meth:`tick`, which models one clock cycle of
+    behaviour.  Components must only communicate through
+    :class:`~repro.sim.queue.DecoupledQueue` instances (or their own private
+    state); direct method calls between components within a cycle would make
+    results depend on tick ordering.
+
+    A component may report whether it still has work pending through
+    :meth:`busy`; the engine uses this to detect completion and deadlocks.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    @abc.abstractmethod
+    def tick(self, cycle: int) -> None:
+        """Advance the component by one clock cycle."""
+
+    def busy(self) -> bool:
+        """Return True while the component has outstanding work.
+
+        The default conservatively reports idle; components holding internal
+        state (in-flight requests, partially packed beats) should override.
+        """
+        return False
+
+    def reset(self) -> None:
+        """Restore the component to its post-reset state (optional)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,137 @@
+"""The cycle-driven simulation engine."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.component import Component
+from repro.sim.queue import DecoupledQueue, LatencyPipe
+from repro.sim.stats import StatsRegistry
+
+
+class Engine:
+    """Owns components and queues and advances them cycle by cycle.
+
+    The per-cycle evaluation order is:
+
+    1. every registered component's :meth:`~repro.sim.component.Component.tick`
+       is called (order does not affect results because queue pushes are not
+       visible until commit);
+    2. every registered queue is committed and every latency pipe advanced;
+    3. the cycle counter increments.
+
+    ``run_until`` detects deadlock by watching total queue activity: if no
+    item is pushed or popped anywhere for ``deadlock_window`` consecutive
+    cycles while components still report busy, a :class:`DeadlockError` is
+    raised with a snapshot of component states to aid debugging.
+    """
+
+    def __init__(self, deadlock_window: int = 10_000) -> None:
+        self.cycle = 0
+        self.stats = StatsRegistry()
+        self.deadlock_window = deadlock_window
+        self._components: List[Component] = []
+        self._queues: List[DecoupledQueue] = []
+        self._pipes: List[LatencyPipe] = []
+
+    # ------------------------------------------------------------ registration
+    def add_component(self, component: Component) -> Component:
+        """Register a component to be ticked every cycle."""
+        self._components.append(component)
+        return component
+
+    def add_queue(self, queue: DecoupledQueue) -> DecoupledQueue:
+        """Register a queue to be committed at the end of every cycle."""
+        self._queues.append(queue)
+        return queue
+
+    def new_queue(self, name: str, depth: int) -> DecoupledQueue:
+        """Create and register a queue in one call."""
+        return self.add_queue(DecoupledQueue(name, depth))
+
+    def add_pipe(self, pipe: LatencyPipe) -> LatencyPipe:
+        """Register a fixed-latency pipe to be advanced every cycle."""
+        self._pipes.append(pipe)
+        return pipe
+
+    # ----------------------------------------------------------------- running
+    def step(self, cycles: int = 1) -> None:
+        """Advance the simulation by ``cycles`` clock cycles."""
+        for _ in range(cycles):
+            for component in self._components:
+                component.tick(self.cycle)
+            for queue in self._queues:
+                queue.commit()
+            for pipe in self._pipes:
+                pipe.advance()
+            self.cycle += 1
+
+    def run_until(
+        self,
+        done: Callable[[], bool],
+        max_cycles: int = 50_000_000,
+    ) -> int:
+        """Run until ``done()`` returns True; return the cycle count.
+
+        Raises
+        ------
+        DeadlockError
+            If no queue activity is observed for ``deadlock_window`` cycles.
+        SimulationError
+            If ``max_cycles`` elapse without completion.
+        """
+        start_cycle = self.cycle
+        idle_cycles = 0
+        last_activity = self._activity()
+        while not done():
+            if self.cycle - start_cycle >= max_cycles:
+                raise SimulationError(
+                    f"simulation exceeded {max_cycles} cycles without completing"
+                )
+            self.step()
+            activity = self._activity()
+            if activity == last_activity:
+                idle_cycles += 1
+                if idle_cycles >= self.deadlock_window:
+                    raise DeadlockError(self._deadlock_report())
+            else:
+                idle_cycles = 0
+                last_activity = activity
+        return self.cycle - start_cycle
+
+    def drain(self, max_cycles: int = 1_000_000) -> int:
+        """Run until every component reports idle and every queue is empty."""
+        return self.run_until(self._all_idle, max_cycles=max_cycles)
+
+    # ----------------------------------------------------------------- helpers
+    def _activity(self) -> int:
+        return sum(q.total_pushed + q.total_popped for q in self._queues)
+
+    def _all_idle(self) -> bool:
+        if any(component.busy() for component in self._components):
+            return False
+        if any(not queue.is_empty() for queue in self._queues):
+            return False
+        return all(pipe.is_empty() for pipe in self._pipes)
+
+    def _deadlock_report(self) -> str:
+        busy = [c.name for c in self._components if c.busy()]
+        stuck = [
+            f"{q.name}({q.occupancy}/{q.depth})"
+            for q in self._queues
+            if not q.is_empty()
+        ]
+        return (
+            f"no forward progress for {self.deadlock_window} cycles at cycle "
+            f"{self.cycle}; busy components: {busy}; non-empty queues: {stuck}"
+        )
+
+    def reset(self) -> None:
+        """Reset cycle count, statistics, components, queues and pipes."""
+        self.cycle = 0
+        self.stats.reset()
+        for component in self._components:
+            component.reset()
+        for queue in self._queues:
+            queue.clear()

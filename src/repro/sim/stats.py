@@ -1,0 +1,63 @@
+"""Named statistic counters shared by simulator components."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+
+@dataclass
+class Counter:
+    """A single named statistic with integer and float accumulation."""
+
+    name: str
+    value: float = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        """Accumulate ``amount`` into the counter."""
+        self.value += amount
+
+    def reset(self) -> None:
+        """Zero the counter."""
+        self.value = 0.0
+
+
+class StatsRegistry:
+    """A flat namespace of counters, keyed by dotted names.
+
+    Components create counters lazily via :meth:`counter`; analysis code
+    reads them back with :meth:`as_dict` after a simulation completes.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Return the counter called ``name``, creating it if needed."""
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        """Convenience: accumulate into (and lazily create) a counter."""
+        self.counter(name).add(amount)
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        """Return the value of ``name``, or ``default`` if it never existed."""
+        counter = self._counters.get(name)
+        return counter.value if counter is not None else default
+
+    def as_dict(self) -> Mapping[str, float]:
+        """Return a snapshot of all counters as a plain dictionary."""
+        return {name: counter.value for name, counter in sorted(self._counters.items())}
+
+    def reset(self) -> None:
+        """Zero every counter while keeping the registry intact."""
+        for counter in self._counters.values():
+            counter.reset()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counters
+
+    def __len__(self) -> int:
+        return len(self._counters)

@@ -1,0 +1,105 @@
+"""System-level configuration for the three evaluation SoCs."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.controller.context import AdapterConfig
+from repro.errors import ConfigurationError
+from repro.mem.banked import BankedMemoryConfig
+from repro.utils.bitutils import is_power_of_two
+from repro.vector.config import LoweringMode, VectorEngineConfig
+
+
+class SystemKind(enum.Enum):
+    """The three systems compared in the paper's evaluation.
+
+    * ``BASE``  — unmodified CVA6 + Ara over a standard AXI4 bus to a regular
+      banked memory.
+    * ``PACK``  — AXI-Pack-extended Ara, AXI-Pack bus, and the banked memory
+      behind the AXI-Pack controller.
+    * ``IDEAL`` — unmodified Ara connected to an exclusive idealized memory
+      with perfect packing, bandwidth and latency (upper bound).
+    """
+
+    BASE = "base"
+    PACK = "pack"
+    IDEAL = "ideal"
+
+    @property
+    def lowering(self) -> LoweringMode:
+        """The VLSU lowering mode this system uses."""
+        return LoweringMode(self.value)
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Every parameter needed to instantiate one evaluation system.
+
+    The defaults reproduce the paper's configuration: a 256-bit bus (eight
+    64-bit lanes), 32-bit memory words, 17 banks, FP32 elements and
+    decoupling queues of depth four.
+    """
+
+    kind: SystemKind = SystemKind.PACK
+    bus_bytes: int = 32
+    word_bytes: int = 4
+    num_banks: int = 17
+    queue_depth: int = 4
+    memory_bytes: int = 1 << 24
+    memory_latency: int = 1
+    ideal_latency: int = 2
+    vector: Optional[VectorEngineConfig] = None
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.bus_bytes):
+            raise ConfigurationError("bus width must be a power of two in bytes")
+        if self.bus_bytes < self.word_bytes:
+            raise ConfigurationError("bus must be at least one word wide")
+
+    # ------------------------------------------------------------ derived
+    @property
+    def bus_bits(self) -> int:
+        """Bus width in bits (64, 128 or 256 in the paper's sweeps)."""
+        return self.bus_bytes * 8
+
+    @property
+    def lanes(self) -> int:
+        """Vector lane count implied by the bus width (paper: D/32)."""
+        return self.bus_bytes // self.word_bytes
+
+    @property
+    def lowering(self) -> LoweringMode:
+        """VLSU lowering mode of this system."""
+        return self.kind.lowering
+
+    def vector_config(self) -> VectorEngineConfig:
+        """The vector engine configuration (derived unless overridden)."""
+        if self.vector is not None:
+            return self.vector
+        return VectorEngineConfig(lanes=self.lanes, bus_bytes=self.bus_bytes)
+
+    def adapter_config(self) -> AdapterConfig:
+        """The AXI-Pack adapter configuration for this system."""
+        return AdapterConfig(
+            bus_bytes=self.bus_bytes,
+            word_bytes=self.word_bytes,
+            queue_depth=self.queue_depth,
+        )
+
+    def memory_config(self) -> BankedMemoryConfig:
+        """The banked memory configuration for this system."""
+        return BankedMemoryConfig(
+            num_ports=self.bus_bytes // self.word_bytes,
+            num_banks=self.num_banks,
+            word_bytes=self.word_bytes,
+            latency=self.memory_latency,
+            request_queue_depth=self.queue_depth,
+            response_queue_depth=self.queue_depth,
+        )
+
+    def with_kind(self, kind: SystemKind) -> "SystemConfig":
+        """A copy of this configuration targeting a different system kind."""
+        return replace(self, kind=kind)

@@ -1,0 +1,95 @@
+"""Result records produced by system simulations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.system.config import SystemKind
+from repro.vector.engine import EngineResult
+
+
+@dataclass
+class SystemRunResult:
+    """Everything measured when one workload ran on one system."""
+
+    workload: str
+    kind: SystemKind
+    cycles: int
+    engine: EngineResult
+    stats: Mapping[str, float] = field(default_factory=dict)
+    verified: Optional[bool] = None
+
+    @property
+    def r_utilization(self) -> float:
+        """R bus utilization including index traffic."""
+        return self.engine.r_utilization
+
+    @property
+    def r_utilization_no_index(self) -> float:
+        """R bus utilization excluding index traffic."""
+        return self.engine.r_utilization_no_index
+
+    @property
+    def w_utilization(self) -> float:
+        """W bus utilization."""
+        return self.engine.w_utilization
+
+    def speedup_over(self, baseline: "SystemRunResult") -> float:
+        """Speedup of this run relative to ``baseline`` (same workload)."""
+        if self.cycles == 0:
+            return float("inf")
+        return baseline.cycles / self.cycles
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        verified = {True: "ok", False: "MISMATCH", None: "unchecked"}[self.verified]
+        return (
+            f"{self.workload:<8s} {self.kind.value:<5s} cycles={self.cycles:>9d} "
+            f"Rutil={self.r_utilization:6.1%} Rutil(data)={self.r_utilization_no_index:6.1%} "
+            f"[{verified}]"
+        )
+
+
+@dataclass
+class WorkloadComparison:
+    """BASE / PACK / IDEAL results for one workload, with derived metrics."""
+
+    workload: str
+    base: SystemRunResult
+    pack: SystemRunResult
+    ideal: SystemRunResult
+
+    @property
+    def pack_speedup(self) -> float:
+        """PACK speedup over BASE (the paper's headline metric)."""
+        return self.pack.speedup_over(self.base)
+
+    @property
+    def ideal_speedup(self) -> float:
+        """IDEAL speedup over BASE (the upper bound)."""
+        return self.ideal.speedup_over(self.base)
+
+    @property
+    def pack_fraction_of_ideal(self) -> float:
+        """How close PACK gets to the IDEAL performance."""
+        if self.ideal.cycles == 0:
+            return 0.0
+        return self.ideal.cycles / self.pack.cycles
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary used by the reporting code."""
+        return {
+            "workload": self.workload,
+            "base_cycles": self.base.cycles,
+            "pack_cycles": self.pack.cycles,
+            "ideal_cycles": self.ideal.cycles,
+            "pack_speedup": self.pack_speedup,
+            "ideal_speedup": self.ideal_speedup,
+            "pack_fraction_of_ideal": self.pack_fraction_of_ideal,
+            "base_r_util": self.base.r_utilization,
+            "base_r_util_no_index": self.base.r_utilization_no_index,
+            "pack_r_util": self.pack.r_utilization,
+            "ideal_r_util": self.ideal.r_utilization,
+            "ideal_r_util_no_index": self.ideal.r_utilization_no_index,
+        }

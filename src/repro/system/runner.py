@@ -1,0 +1,90 @@
+"""High-level helpers to run workloads on the evaluation systems."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.system.config import SystemConfig, SystemKind
+from repro.system.results import SystemRunResult, WorkloadComparison
+from repro.system.soc import build_system
+
+
+def run_workload(
+    workload,
+    config: Optional[SystemConfig] = None,
+    kind: Optional[SystemKind] = None,
+    verify: bool = True,
+    max_cycles: int = 50_000_000,
+) -> SystemRunResult:
+    """Run one workload on one system and return the measurements.
+
+    Parameters
+    ----------
+    workload:
+        Any object implementing the :class:`repro.workloads.base.Workload`
+        protocol (``initialize``, ``build_program``, ``verify``).
+    config:
+        System configuration; defaults to the paper's 256-bit / 17-bank PACK
+        system.  ``kind`` overrides the configuration's system kind.
+    verify:
+        If True, the workload's results in simulated memory are checked
+        against its reference implementation after the run.
+    """
+    config = config or SystemConfig()
+    if kind is not None:
+        config = config.with_kind(kind)
+    soc = build_system(config)
+    workload.initialize(soc.storage)
+    program = workload.build_program(config.lowering, config.vector_config())
+    cycles, engine_result = soc.run_program(program, max_cycles=max_cycles)
+    verified = workload.verify(soc.storage) if verify else None
+    return SystemRunResult(
+        workload=workload.name,
+        kind=config.kind,
+        cycles=cycles,
+        engine=engine_result,
+        stats=soc.stats.as_dict(),
+        verified=verified,
+    )
+
+
+def run_workload_all_systems(
+    workload_factory,
+    config: Optional[SystemConfig] = None,
+    kinds: Iterable[SystemKind] = (SystemKind.BASE, SystemKind.PACK, SystemKind.IDEAL),
+    verify: bool = True,
+    max_cycles: int = 50_000_000,
+) -> Dict[SystemKind, SystemRunResult]:
+    """Run a workload on several systems.
+
+    ``workload_factory`` is called once per system so each run gets a fresh
+    workload instance (system-specific dataflow choices happen inside the
+    workload's ``build_program``).
+    """
+    config = config or SystemConfig()
+    results: Dict[SystemKind, SystemRunResult] = {}
+    for kind in kinds:
+        workload = workload_factory()
+        results[kind] = run_workload(
+            workload, config, kind=kind, verify=verify, max_cycles=max_cycles
+        )
+    return results
+
+
+def compare_systems(
+    workload_factory,
+    config: Optional[SystemConfig] = None,
+    verify: bool = True,
+    max_cycles: int = 50_000_000,
+) -> WorkloadComparison:
+    """Run a workload on BASE, PACK and IDEAL and package the comparison."""
+    results = run_workload_all_systems(
+        workload_factory, config, verify=verify, max_cycles=max_cycles
+    )
+    sample = next(iter(results.values()))
+    return WorkloadComparison(
+        workload=sample.workload,
+        base=results[SystemKind.BASE],
+        pack=results[SystemKind.PACK],
+        ideal=results[SystemKind.IDEAL],
+    )

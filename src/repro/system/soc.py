@@ -1,0 +1,79 @@
+"""SoC assembly: wires the vector engine to the right memory system."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.axi.port import AxiPort, AxiPortConfig
+from repro.controller.adapter import AxiPackAdapter
+from repro.errors import ConfigurationError
+from repro.mem.banked import BankedMemory
+from repro.mem.ideal import IdealMemoryEndpoint
+from repro.mem.storage import MemoryStorage
+from repro.sim.engine import Engine
+from repro.sim.stats import StatsRegistry
+from repro.system.config import SystemConfig, SystemKind
+from repro.vector.builder import Program
+from repro.vector.engine import EngineResult, VectorEngine
+
+
+class Soc:
+    """One instantiated evaluation system.
+
+    A :class:`Soc` owns the memory image (so workloads can initialize their
+    data before running and inspect it afterwards) and builds a fresh
+    simulation engine for every program executed on it.
+    """
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.storage = MemoryStorage(config.memory_bytes)
+        self.stats = StatsRegistry()
+        self.port = AxiPort("cpu", config.bus_bytes, AxiPortConfig())
+        if config.kind is SystemKind.IDEAL:
+            self.memory = None
+            self.endpoint = IdealMemoryEndpoint(
+                "ideal_mem", self.port, self.storage,
+                latency=config.ideal_latency, stats=self.stats,
+            )
+        else:
+            self.memory = BankedMemory(
+                "banked_mem", config.memory_config(), self.storage, self.stats
+            )
+            self.endpoint = AxiPackAdapter(
+                "adapter", self.port, self.memory, config.adapter_config(), self.stats
+            )
+
+    @property
+    def kind(self) -> SystemKind:
+        """Which of the three evaluation systems this is."""
+        return self.config.kind
+
+    def run_program(
+        self, program: Program, max_cycles: int = 50_000_000
+    ) -> Tuple[int, EngineResult]:
+        """Execute a vector program to completion; return (cycles, result)."""
+        if program.mode is not self.config.lowering:
+            raise ConfigurationError(
+                f"program was built for the {program.mode.value.upper()} system "
+                f"but this SoC is {self.kind.value.upper()}"
+            )
+        engine = Engine()
+        vector = VectorEngine(
+            "ara", program, self.port, self.config.vector_config(), self.config.lowering
+        )
+        engine.add_component(vector)
+        engine.add_component(self.endpoint)
+        if self.memory is not None:
+            engine.add_component(self.memory)
+            for queue in self.memory.all_queues():
+                engine.add_queue(queue)
+        for queue in self.port.all_queues():
+            engine.add_queue(queue)
+        cycles = engine.run_until(vector.done, max_cycles=max_cycles)
+        return cycles, vector.result(cycles)
+
+
+def build_system(config: SystemConfig) -> Soc:
+    """Instantiate the SoC described by ``config``."""
+    return Soc(config)

@@ -1,0 +1,95 @@
+"""Configuration of the vector engine timing model."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.utils.bitutils import is_power_of_two
+from repro.utils.validation import check_positive
+
+
+class LoweringMode(enum.Enum):
+    """How the VLSU lowers strided / indexed vector accesses to the bus.
+
+    * ``BASE`` — unextended Ara: one narrow transaction per element, indices
+      must be fetched into vector registers first.
+    * ``PACK`` — AXI-Pack-extended Ara: strided and indexed accesses become
+      packed bursts; indexed accesses use the new in-memory-indexed
+      instructions so indices never cross the bus.
+    * ``IDEAL`` — idealized memory: accesses behave as perfectly packed
+      bursts, but indices are still fetched into the core (the IDEAL system
+      keeps Ara's baseline ISA).
+    """
+
+    BASE = "base"
+    PACK = "pack"
+    IDEAL = "ideal"
+
+    @property
+    def has_axi_pack(self) -> bool:
+        """True if the new ``vlimxei``/``vsimxei`` instructions are available."""
+        return self is LoweringMode.PACK
+
+    @property
+    def packs_irregular(self) -> bool:
+        """True if strided/indexed accesses occupy fully packed beats."""
+        return self in (LoweringMode.PACK, LoweringMode.IDEAL)
+
+
+@dataclass(frozen=True)
+class VectorEngineConfig:
+    """Timing parameters of the Ara-like vector engine.
+
+    The defaults correspond to the paper's evaluation systems: eight 64-bit
+    lanes (256-bit memory interface), 4096-bit vector registers, one
+    FP32 operation per lane per cycle and single-cycle in-order dispatch.
+    """
+
+    lanes: int = 8
+    vlen_bits: int = 4096
+    lmul: int = 8                  #: register grouping used by the kernels
+    bus_bytes: int = 32
+    elem_bytes: int = 4
+    issue_cycles: int = 1          #: dispatch cost of every vector instruction
+    chain_latency: int = 4         #: lane pipeline depth seen by chained ops
+    reduction_step_latency: int = 3  #: per-tree-level latency of reductions
+    reduction_drain: int = 5       #: fixed cost of moving a reduction result out
+    addr_setup_cycles: int = 2     #: VLSU address-generation cost per memory op
+    memory_latency_slack: int = 4  #: address-generation / response tail per burst
+    max_outstanding_loads: int = 2
+    max_outstanding_stores: int = 2
+
+    def __post_init__(self) -> None:
+        check_positive("lanes", self.lanes)
+        check_positive("vlen_bits", self.vlen_bits)
+        if not is_power_of_two(self.lanes):
+            raise ConfigurationError("lane count must be a power of two")
+        if self.vlen_bits % 8 != 0:
+            raise ConfigurationError("VLEN must be a whole number of bytes")
+        check_positive("issue_cycles", self.issue_cycles)
+        if self.lmul not in (1, 2, 4, 8):
+            raise ConfigurationError("LMUL must be 1, 2, 4 or 8")
+
+    @property
+    def vlen_bytes(self) -> int:
+        """Bytes held by one vector register."""
+        return self.vlen_bits // 8
+
+    @property
+    def register_group_bytes(self) -> int:
+        """Bytes held by one register group at the configured LMUL."""
+        return self.vlen_bytes * self.lmul
+
+    def max_vl(self, elem_bytes: int) -> int:
+        """Maximum vector length for a given element size at the configured LMUL."""
+        return self.register_group_bytes // elem_bytes
+
+    def elements_per_cycle(self, elem_bytes: int) -> int:
+        """Arithmetic throughput in elements per cycle across all lanes."""
+        # Each lane datapath is 64 bits wide; a 32-bit element therefore
+        # does not get to use the other half in this model (matching the
+        # paper's FP32 results where bus and compute rates are balanced).
+        del elem_bytes
+        return self.lanes

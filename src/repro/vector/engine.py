@@ -1,0 +1,470 @@
+"""Cycle-level vector engine: in-order dispatch, chaining, and the VLSU.
+
+The engine executes an assembled :class:`~repro.vector.builder.Program`
+against an AXI port.  It is the model of CVA6 + Ara used by all three
+evaluation systems; only the *lowering mode* changes between them (how
+strided/indexed accesses become bus requests).
+
+Timing model
+------------
+* Instructions dispatch in order, one per ``issue_cycles`` cycles; scalar
+  work blocks dispatch for its duration (loop bookkeeping overhead).
+* Memory operations occupy the vector load/store unit; up to
+  ``max_outstanding_loads``/``stores`` may be in flight.  Their duration is
+  whatever the downstream memory system takes — the engine just pushes one
+  request per cycle and consumes one R beat / pushes one W beat per cycle.
+* Arithmetic operations run on the lanes at ``lanes`` elements per cycle and
+  *chain* on their producers: a chained op completes shortly after its last
+  operand element arrives rather than waiting for the full operand first.
+* Reductions pay an extra tree-and-drain latency and cannot chain their
+  result, which is what makes row-wise dataflows reduction-bound (Fig. 3b/c).
+* Ordered stores act as memory fences (the in-place transpose needs this,
+  which is why its R utilization saturates at 50 % — §III-B).
+
+Functional model
+----------------
+Loads deposit real bytes into the register file, stores write register
+contents back to the memory model, and arithmetic ops with an ``fn`` compute
+real numpy results — so every workload's output can be checked against a
+reference implementation.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.axi.builder import BuilderConfig, RequestBuilder
+from repro.axi.monitor import ChannelMonitor
+from repro.axi.port import AxiPort
+from repro.axi.signals import WBeat
+from repro.axi.stream import ContiguousStream, IndirectStream, StridedStream
+from repro.axi.transaction import BusRequest
+from repro.errors import SimulationError, WorkloadError
+from repro.sim.component import Component
+from repro.vector.builder import Program
+from repro.vector.config import LoweringMode, VectorEngineConfig
+from repro.vector.ops import ScalarWork, VectorCompute, VectorLoad, VectorOp, VectorStore
+from repro.vector.regfile import VectorRegisterFile
+
+_DTYPES = {"float32": np.float32, "uint32": np.uint32, "int32": np.int32,
+           "float64": np.float64, "uint64": np.uint64}
+
+
+class _MemOpState:
+    """In-flight bookkeeping of one vector load or store."""
+
+    def __init__(self, op: VectorOp, requests: List[BusRequest], is_load: bool) -> None:
+        self.op = op
+        self.requests = requests
+        self.is_load = is_load
+        self.next_request = 0
+        self.total_beats = sum(request.num_beats for request in requests)
+        self.beats_done = 0
+        self.responses_pending = len(requests)
+        self.chunks: Dict[int, List[bytes]] = {request.txn_id: [] for request in requests}
+        self.positions: Dict[int, int] = {
+            request.txn_id: index for index, request in enumerate(requests)
+        }
+        self.first_beat_cycle: Optional[int] = None
+        self.ready_cycle = 0  #: address generation done, requests may be issued
+
+    @property
+    def all_issued(self) -> bool:
+        return self.next_request >= len(self.requests)
+
+    @property
+    def complete(self) -> bool:
+        if self.is_load:
+            return self.beats_done >= self.total_beats
+        return self.all_issued and self.responses_pending == 0
+
+    def payload(self) -> bytes:
+        """Concatenated packed payload in stream order (loads only)."""
+        parts: List[bytes] = []
+        for request in self.requests:
+            parts.extend(self.chunks[request.txn_id])
+        return b"".join(parts)
+
+
+@dataclass
+class EngineResult:
+    """Measurements of one program execution."""
+
+    cycles: int
+    instructions: int
+    r_beats: int
+    r_useful_bytes: int
+    r_data_bytes: int
+    r_index_bytes: int
+    w_beats: int
+    w_useful_bytes: int
+    bus_bytes: int
+
+    @property
+    def r_utilization(self) -> float:
+        """R-channel utilization including index traffic."""
+        if self.cycles == 0:
+            return 0.0
+        return self.r_useful_bytes / (self.bus_bytes * self.cycles)
+
+    @property
+    def r_utilization_no_index(self) -> float:
+        """R-channel utilization counting only data payload (no indices)."""
+        if self.cycles == 0:
+            return 0.0
+        return self.r_data_bytes / (self.bus_bytes * self.cycles)
+
+    @property
+    def w_utilization(self) -> float:
+        """W-channel utilization."""
+        if self.cycles == 0:
+            return 0.0
+        return self.w_useful_bytes / (self.bus_bytes * self.cycles)
+
+
+class VectorEngine(Component):
+    """Executes one program, driving an AXI/AXI-Pack port for memory traffic."""
+
+    def __init__(
+        self,
+        name: str,
+        program: Program,
+        port: AxiPort,
+        config: Optional[VectorEngineConfig] = None,
+        mode: Optional[LoweringMode] = None,
+    ) -> None:
+        super().__init__(name)
+        self.program = program
+        self.port = port
+        self.config = config or VectorEngineConfig(bus_bytes=port.bus_bytes)
+        self.mode = mode or program.mode
+        self.regfile = VectorRegisterFile(self.config.register_group_bytes)
+        self.request_builder = RequestBuilder(BuilderConfig(bus_bytes=port.bus_bytes))
+        self.r_monitor = ChannelMonitor("R", port.bus_bytes)
+        self.w_monitor = ChannelMonitor("W", port.bus_bytes)
+
+        self._next_op = 0
+        self._cooldown = 0
+        self._done_at: Dict[int, int] = {}
+        self._latest_completion = 0
+        self._active_loads: List[_MemOpState] = []
+        self._active_stores: List[_MemOpState] = []
+        self._by_txn: Dict[int, _MemOpState] = {}
+        self._txn_kind: Dict[int, str] = {}
+        self._w_backlog: Deque[Tuple[BusRequest, int, bytes]] = deque()
+        self._pending_computes: List = []
+        self._scheduled_computes: set = set()
+        self._alu_busy_until = 0
+        self._cycle = 0
+
+    # ------------------------------------------------------------------ tick
+    def tick(self, cycle: int) -> None:
+        self._cycle = cycle
+        self._consume_r(cycle)
+        self._consume_b(cycle)
+        self._retire_computes(cycle)
+        self._dispatch(cycle)
+        self._push_requests(cycle)
+        self._push_w_data(cycle)
+
+    # ------------------------------------------------------------- completion
+    def _mark_done(self, op_id: int, cycle: int) -> None:
+        self._done_at[op_id] = cycle
+        if cycle > self._latest_completion:
+            self._latest_completion = cycle
+
+    def _op_done(self, op_id: int, cycle: int) -> bool:
+        return op_id in self._done_at and self._done_at[op_id] <= cycle
+
+    def _deps_done(self, op: VectorOp, cycle: int) -> bool:
+        return all(self._op_done(dep, cycle) for dep in op.deps)
+
+    def _load_deps_ready(self, op: VectorOp, cycle: int) -> bool:
+        """Dependency check for loads.
+
+        A load's dependency on an arithmetic op is a register-reuse (WAR/WAW)
+        hazard, not a data dependency; real chaining resolves it at element
+        granularity, so it is enough that the arithmetic op has captured its
+        operands (been scheduled).  Dependencies on memory ops (index
+        registers, fences) still require completion.
+        """
+        for dep in op.deps:
+            if self._op_done(dep, cycle):
+                continue
+            dep_op = self.program.ops[dep]
+            if isinstance(dep_op, VectorCompute) and dep in self._scheduled_computes:
+                continue
+            return False
+        return True
+
+    def done(self) -> bool:
+        """True once every instruction has been dispatched and completed."""
+        if self._next_op < len(self.program.ops):
+            return False
+        if self._active_loads or self._active_stores or self._pending_computes:
+            return False
+        if self._w_backlog:
+            return False
+        return self._latest_completion <= self._cycle
+
+    def busy(self) -> bool:
+        return not self.done()
+
+    # -------------------------------------------------------------- dispatch
+    def _dispatch(self, cycle: int) -> None:
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            return
+        if self._next_op >= len(self.program.ops):
+            return
+        op = self.program.ops[self._next_op]
+        if isinstance(op, VectorLoad):
+            if not self._load_deps_ready(op, cycle):
+                return
+        elif not isinstance(op, VectorCompute) and not self._deps_done(op, cycle):
+            return
+        if isinstance(op, ScalarWork):
+            self._cooldown = max(0, op.cycles - 1)
+            self._mark_done(op.op_id, cycle + op.cycles)
+            self._next_op += 1
+            return
+        if isinstance(op, VectorCompute):
+            if self._deps_done(op, cycle):
+                self._schedule_compute(op, cycle)
+            else:
+                # Chaining: the op is dispatched to the lanes and will start
+                # consuming operand elements as they arrive; scheduling (and
+                # the functional evaluation) happens once the producers are
+                # known to be complete.  The dispatch cycle is remembered so
+                # the overlapped execution is credited.
+                self._pending_computes.append((op, cycle))
+            self._cooldown = self.config.issue_cycles - 1
+            self._next_op += 1
+            return
+        if isinstance(op, (VectorLoad, VectorStore)):
+            if not self._try_dispatch_memory(op, cycle):
+                return
+            self._cooldown = self.config.issue_cycles - 1
+            self._next_op += 1
+            return
+        raise SimulationError(f"unknown op type {type(op).__name__}")
+
+    # ----------------------------------------------------------- compute ops
+    def _schedule_compute(self, op: VectorCompute, cycle: int) -> None:
+        throughput = self.config.elements_per_cycle(self.config.elem_bytes)
+        duration = max(1, math.ceil(op.num_elements / throughput)) * op.ops_per_element
+        dep_end = max((self._done_at[d] for d in op.deps), default=cycle)
+        start = max(cycle, self._alu_busy_until)
+        # Chained execution: the op finishes shortly after its last operand
+        # element arrives, or after its own full duration, whichever is later.
+        end = max(start + duration, dep_end + self.config.chain_latency + 1)
+        if op.is_reduction:
+            # Ara-style reductions are slide-and-add based: their latency grows
+            # with the logarithm of the vector length, on top of streaming the
+            # elements through the lanes, and the scalar result must drain out.
+            tree_levels = max(1, int(math.ceil(math.log2(max(2, op.num_elements)))))
+            end += self.config.reduction_step_latency * tree_levels
+            end += self.config.reduction_drain
+        self._alu_busy_until = end
+        self._mark_done(op.op_id, end)
+        self._scheduled_computes.add(op.op_id)
+        self._apply_compute(op)
+
+    def _apply_compute(self, op: VectorCompute) -> None:
+        if op.fn is None:
+            if op.dest is not None and not self.regfile.has_vector(op.dest):
+                self.regfile.write_vector(
+                    op.dest, np.zeros(op.num_elements, dtype=np.float32)
+                )
+            return
+        args = [self.regfile.read_vector(src) for src in op.srcs]
+        result = op.fn(*args)
+        if op.dest is not None and result is not None:
+            self.regfile.write_vector(op.dest, np.asarray(result))
+
+    def _retire_computes(self, cycle: int) -> None:
+        """Schedule chained computes whose producers have now completed.
+
+        The lanes execute in order, so scheduling stops at the first pending
+        compute whose operands are still being produced.
+        """
+        while self._pending_computes:
+            op, dispatch_cycle = self._pending_computes[0]
+            if not self._deps_done(op, cycle):
+                return
+            self._pending_computes.pop(0)
+            self._schedule_compute(op, dispatch_cycle)
+
+    # ------------------------------------------------------------ memory ops
+    def _try_dispatch_memory(self, op: VectorOp, cycle: int) -> bool:
+        is_load = isinstance(op, VectorLoad)
+        # Ordered (fenced) accesses wait for all outstanding memory traffic.
+        if getattr(op, "ordered", False) and (self._active_loads or self._active_stores):
+            return False
+        if any(s.op.ordered for s in self._active_stores) or any(
+            l.op.ordered for l in self._active_loads
+        ):
+            return False
+        active = self._active_loads if is_load else self._active_stores
+        limit = (
+            self.config.max_outstanding_loads
+            if is_load
+            else self.config.max_outstanding_stores
+        )
+        if len(active) >= limit:
+            return False
+        requests = self._lower(op, is_load)
+        state = _MemOpState(op, requests, is_load)
+        state.ready_cycle = cycle + self.config.addr_setup_cycles
+        active.append(state)
+        kind = getattr(op, "kind", "data")
+        for request in requests:
+            self._by_txn[request.txn_id] = state
+            self._txn_kind[request.txn_id] = kind
+        if not is_load:
+            self._queue_write_data(state)
+        return True
+
+    def _lower(self, op: VectorOp, is_load: bool) -> List[BusRequest]:
+        stream = op.stream
+        builder = self.request_builder
+        packs = self.mode.packs_irregular
+        if isinstance(stream, ContiguousStream):
+            return builder.contiguous(stream, is_write=not is_load)
+        if isinstance(stream, StridedStream):
+            if packs:
+                return builder.pack_strided(stream, is_write=not is_load)
+            return builder.base_strided(stream, is_write=not is_load)
+        if isinstance(stream, IndirectStream):
+            if getattr(op, "uses_in_memory_indices", False):
+                if not self.mode.has_axi_pack:
+                    raise WorkloadError(
+                        "in-memory-indexed access executed without AXI-Pack"
+                    )
+                return builder.pack_indirect(stream, is_write=not is_load)
+            if self.mode is LoweringMode.IDEAL:
+                # The idealized memory packs gathers perfectly.
+                return builder.pack_indirect(stream, is_write=not is_load)
+            index_reg = getattr(op, "index_values_reg", None)
+            if index_reg is None:
+                raise WorkloadError(
+                    "register-indexed access without an index register on BASE"
+                )
+            indices = np.asarray(self.regfile.read_vector(index_reg)).astype(np.int64)
+            return builder.base_indexed(stream, indices, is_write=not is_load)
+        raise WorkloadError(f"cannot lower stream of type {type(stream).__name__}")
+
+    def _queue_write_data(self, state: _MemOpState) -> None:
+        op = state.op
+        values = self.regfile.read_vector(op.src)
+        dtype = _DTYPES[op.dtype]
+        payload = np.ascontiguousarray(values, dtype=dtype).tobytes()
+        if len(payload) < op.stream.total_bytes:
+            raise WorkloadError(
+                f"store source register {op.src!r} holds {len(payload)} bytes but "
+                f"the store needs {op.stream.total_bytes}"
+            )
+        offset = 0
+        for request in state.requests:
+            for beat in range(request.num_beats):
+                useful = request.beat_useful_bytes(beat)
+                chunk = payload[offset : offset + useful]
+                offset += useful
+                self._w_backlog.append((request, beat, chunk))
+
+    # ---------------------------------------------------------- AXI channels
+    def _push_requests(self, cycle: int) -> None:
+        # One AR per cycle, oldest load first.
+        for state in self._active_loads:
+            if state.all_issued:
+                continue
+            if cycle >= state.ready_cycle and self.port.ar.can_push():
+                self.port.ar.push(state.requests[state.next_request])
+                state.next_request += 1
+            break
+        # One AW per cycle, oldest store first.
+        for state in self._active_stores:
+            if state.all_issued:
+                continue
+            if cycle >= state.ready_cycle and self.port.aw.can_push():
+                self.port.aw.push(state.requests[state.next_request])
+                state.next_request += 1
+            break
+
+    def _push_w_data(self, cycle: int) -> None:
+        if not self._w_backlog or not self.port.w.can_push():
+            return
+        request, beat, chunk = self._w_backlog[0]
+        owner = self._by_txn[request.txn_id]
+        # W data may only flow for requests whose AW has been issued.
+        if owner.positions[request.txn_id] >= owner.next_request:
+            return
+        padded = chunk + b"\x00" * (request.bus_bytes - len(chunk))
+        self.port.w.push(
+            WBeat(data=padded, useful_bytes=len(chunk), last=beat == request.num_beats - 1)
+        )
+        self.w_monitor.record_beat(len(chunk))
+        self._w_backlog.popleft()
+
+    def _consume_r(self, cycle: int) -> None:
+        if not self.port.r.can_pop():
+            return
+        beat = self.port.r.pop()
+        state = self._by_txn.get(beat.txn_id)
+        if state is None:
+            raise SimulationError(f"R beat for unknown transaction {beat.txn_id}")
+        kind = self._txn_kind.get(beat.txn_id, "data")
+        self.r_monitor.record_beat(beat.useful_bytes, kind=kind)
+        state.chunks[beat.txn_id].append(bytes(beat.data)[: beat.useful_bytes])
+        state.beats_done += 1
+        if state.first_beat_cycle is None:
+            state.first_beat_cycle = cycle
+        if state.complete:
+            self._finish_load(state, cycle)
+
+    def _finish_load(self, state: _MemOpState, cycle: int) -> None:
+        op = state.op
+        dtype = _DTYPES[op.dtype]
+        values = np.frombuffer(state.payload(), dtype=dtype)[: op.stream.num_elements]
+        self.regfile.write_vector(op.dest, values.copy())
+        self._mark_done(op.op_id, cycle + self.config.memory_latency_slack)
+        self._active_loads.remove(state)
+        self._forget(state)
+
+    def _consume_b(self, cycle: int) -> None:
+        if not self.port.b.can_pop():
+            return
+        beat = self.port.b.pop()
+        state = self._by_txn.get(beat.txn_id)
+        if state is None:
+            raise SimulationError(f"B beat for unknown transaction {beat.txn_id}")
+        state.responses_pending -= 1
+        if state.complete:
+            self._mark_done(state.op.op_id, cycle + 1)
+            self._active_stores.remove(state)
+            self._forget(state)
+
+    def _forget(self, state: _MemOpState) -> None:
+        for request in state.requests:
+            self._by_txn.pop(request.txn_id, None)
+            self._txn_kind.pop(request.txn_id, None)
+
+    # ----------------------------------------------------------------- result
+    def result(self, cycles: int) -> EngineResult:
+        """Package the measurements of a finished run."""
+        return EngineResult(
+            cycles=cycles,
+            instructions=self.program.num_instructions,
+            r_beats=self.r_monitor.beats,
+            r_useful_bytes=self.r_monitor.useful_bytes,
+            r_data_bytes=self.r_monitor.useful_bytes_by_kind.get("data", 0),
+            r_index_bytes=self.r_monitor.useful_bytes_by_kind.get("index", 0),
+            w_beats=self.w_monitor.beats,
+            w_useful_bytes=self.w_monitor.useful_bytes,
+            bus_bytes=self.port.bus_bytes,
+        )

@@ -1,0 +1,46 @@
+"""The paper's six evaluation kernels and their data generators (§III-A).
+
+Strided workloads (dense, randomly generated square matrices):
+
+* :class:`~repro.workloads.ismt.IsmtWorkload` — in-situ matrix transpose;
+* :class:`~repro.workloads.gemv.GemvWorkload` — dense matrix-vector multiply
+  with row- and column-wise dataflows;
+* :class:`~repro.workloads.trmv.TrmvWorkload` — upper-triangular
+  matrix-vector multiply.
+
+Indirect workloads (synthetic CSR matrices standing in for SuiteSparse):
+
+* :class:`~repro.workloads.spmv.SpmvWorkload` — sparse matrix-vector multiply;
+* :class:`~repro.workloads.pagerank.PageRankWorkload` — one PageRank sweep;
+* :class:`~repro.workloads.sssp.SsspWorkload` — one Bellman-Ford relaxation
+  sweep of single-source shortest paths.
+"""
+
+from repro.workloads.base import MemoryLayout, Workload
+from repro.workloads.dense import random_matrix, random_vector
+from repro.workloads.sparse import CsrMatrix, heart1_like, random_csr
+from repro.workloads.ismt import IsmtWorkload
+from repro.workloads.gemv import GemvWorkload
+from repro.workloads.trmv import TrmvWorkload
+from repro.workloads.spmv import SpmvWorkload
+from repro.workloads.pagerank import PageRankWorkload
+from repro.workloads.sssp import SsspWorkload
+from repro.workloads.registry import WORKLOADS, make_workload
+
+__all__ = [
+    "Workload",
+    "MemoryLayout",
+    "random_matrix",
+    "random_vector",
+    "CsrMatrix",
+    "random_csr",
+    "heart1_like",
+    "IsmtWorkload",
+    "GemvWorkload",
+    "TrmvWorkload",
+    "SpmvWorkload",
+    "PageRankWorkload",
+    "SsspWorkload",
+    "WORKLOADS",
+    "make_workload",
+]

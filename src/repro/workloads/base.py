@@ -1,0 +1,92 @@
+"""Workload protocol and memory layout helper."""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.mem.storage import MemoryStorage
+from repro.utils.math import round_up_to
+from repro.vector.builder import Program
+from repro.vector.config import LoweringMode, VectorEngineConfig
+
+
+class MemoryLayout:
+    """Simple bump allocator for placing workload arrays in the memory image.
+
+    Arrays are aligned to the bus width by default so that contiguous
+    accesses start bus-aligned (matching how a real allocator would place
+    them for a vector machine).
+    """
+
+    def __init__(self, base: int = 0x1000, alignment: int = 64) -> None:
+        self._next = base
+        self.alignment = alignment
+        self.regions: Dict[str, tuple] = {}
+
+    def place(self, name: str, nbytes: int, alignment: Optional[int] = None) -> int:
+        """Reserve ``nbytes`` for ``name`` and return its base address."""
+        align = alignment or self.alignment
+        addr = round_up_to(self._next, align)
+        self._next = addr + nbytes
+        self.regions[name] = (addr, nbytes)
+        return addr
+
+    def place_array(self, name: str, array: np.ndarray,
+                    alignment: Optional[int] = None) -> int:
+        """Reserve space sized for ``array`` (does not write it)."""
+        return self.place(name, array.nbytes, alignment)
+
+    def addr(self, name: str) -> int:
+        """Base address of a previously placed region."""
+        if name not in self.regions:
+            raise WorkloadError(f"no region named {name!r} in the layout")
+        return self.regions[name][0]
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes used so far (end of the highest region)."""
+        return self._next
+
+
+class Workload(abc.ABC):
+    """A vectorized kernel that can run on any of the evaluation systems.
+
+    Lifecycle: :meth:`initialize` writes the input data into the simulated
+    memory, :meth:`build_program` assembles the kernel for a given system
+    flavour, and :meth:`verify` checks the results the simulation left in
+    memory against a numpy reference.
+    """
+
+    #: short name used in reports ("ismt", "gemv", ...)
+    name: str = "workload"
+    #: "strided" or "indirect" — which of the paper's categories it belongs to
+    category: str = "strided"
+
+    @abc.abstractmethod
+    def initialize(self, storage: MemoryStorage) -> None:
+        """Write the input arrays into the memory image."""
+
+    @abc.abstractmethod
+    def build_program(self, mode: LoweringMode,
+                      config: VectorEngineConfig) -> Program:
+        """Assemble the kernel for the given system flavour."""
+
+    @abc.abstractmethod
+    def verify(self, storage: MemoryStorage) -> bool:
+        """Check the results in memory against the reference; True if correct."""
+
+    # ------------------------------------------------------------------ misc
+    def describe(self) -> str:
+        """Human-readable one-line description."""
+        return f"{self.name} ({self.category})"
+
+    @staticmethod
+    def _allclose(actual: np.ndarray, expected: np.ndarray) -> bool:
+        """FP32 comparison tolerant to accumulation-order differences."""
+        return bool(
+            np.allclose(actual, expected, rtol=1e-3, atol=1e-4, equal_nan=True)
+        )

@@ -1,0 +1,128 @@
+"""Shared row-wise CSR gather kernel used by spmv, pagerank and sssp.
+
+All three indirect workloads walk a CSR matrix row by row:
+
+1. load the row's nonzero values contiguously;
+2. gather ``x[col_idx[...]]`` — this is the irregular access:
+   * PACK uses the new ``vlimxei32`` instruction (indices stay in memory and
+     are resolved by the AXI-Pack controller's index stage);
+   * BASE/IDEAL must first load the indices into a vector register
+     (``vle32``, counted as index traffic on the bus) and then issue a
+     register-indexed ``vluxei32`` gather;
+3. combine values and gathered elements (multiply for SpMV/PageRank, add for
+   the SSSP relaxation);
+4. reduce the combined vector (sum or min) and post-process / store.
+
+The kernel is parameterized by the combine/reduce operations and an optional
+per-row post-processing hook so each workload only describes what differs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.vector.builder import AraProgramBuilder
+from repro.vector.config import LoweringMode
+from repro.workloads.sparse import CsrMatrix
+
+
+@dataclass
+class CsrKernelSpec:
+    """What a CSR-walking workload wants done per row."""
+
+    combine: str = "mul"           #: "mul" (SpMV-like) or "add" (SSSP-like)
+    reduce: str = "sum"            #: "sum" or "min"
+    scalar_overhead: int = 4       #: scalar-core cycles per row iteration
+    #: optional hook(builder, row, result_reg) -> result_reg for post-processing
+    post_row: Optional[Callable[[AraProgramBuilder, int, str], str]] = None
+
+
+def build_csr_rowwise(
+    builder: AraProgramBuilder,
+    matrix: CsrMatrix,
+    addr_values: int,
+    addr_col_idx: int,
+    addr_x: int,
+    addr_y: int,
+    spec: CsrKernelSpec,
+) -> None:
+    """Emit the row-wise CSR kernel into ``builder``."""
+    mode = builder.mode
+    for row in range(matrix.num_rows):
+        start = int(matrix.row_ptr[row])
+        end = int(matrix.row_ptr[row + 1])
+        nnz = end - start
+        builder.scalar(spec.scalar_overhead, label=f"row {row} bookkeeping")
+        if nnz == 0:
+            _store_empty_row(builder, row, addr_y, spec)
+            continue
+        partials: List[str] = []
+        offset = 0
+        for chunk_index, chunk in enumerate(builder.strip_mine(nnz)):
+            values_addr = addr_values + (start + offset) * 4
+            idx_addr = addr_col_idx + (start + offset) * 4
+            builder.vle32("v1", values_addr, chunk, label=f"row {row} values")
+            _gather(builder, mode, chunk, addr_x, idx_addr, row)
+            _combine(builder, spec, chunk, row)
+            partial = f"vp{chunk_index}"
+            _reduce(builder, spec, partial, chunk, row)
+            partials.append(partial)
+            offset += chunk
+        result = _merge_partials(builder, spec, partials)
+        if spec.post_row is not None:
+            result = spec.post_row(builder, row, result)
+        builder.vse32(result, addr_y + row * 4, 1, label=f"store y[{row}]")
+
+
+def _gather(builder: AraProgramBuilder, mode: LoweringMode, chunk: int,
+            addr_x: int, idx_addr: int, row: int) -> None:
+    if mode.has_axi_pack:
+        builder.vlimxei32("v2", addr_x, idx_addr, chunk,
+                          label=f"row {row} in-memory-indexed gather")
+    else:
+        builder.vle32("v9", idx_addr, chunk, kind="index", dtype="uint32",
+                      label=f"row {row} index fetch")
+        builder.vluxei32("v2", addr_x, "v9", chunk, index_base=idx_addr,
+                         label=f"row {row} register-indexed gather")
+
+
+def _combine(builder: AraProgramBuilder, spec: CsrKernelSpec, chunk: int,
+             row: int) -> None:
+    if spec.combine == "mul":
+        builder.vfmul("v3", "v1", "v2", chunk, label=f"row {row} combine")
+    else:
+        builder.vfadd("v3", "v1", "v2", chunk, label=f"row {row} combine")
+
+
+def _reduce(builder: AraProgramBuilder, spec: CsrKernelSpec, dest: str,
+            chunk: int, row: int) -> None:
+    if spec.reduce == "sum":
+        builder.vfredsum(dest, "v3", chunk, label=f"row {row} reduce")
+    else:
+        builder.vfredmin(dest, "v3", chunk, label=f"row {row} reduce")
+
+
+def _merge_partials(builder: AraProgramBuilder, spec: CsrKernelSpec,
+                    partials: List[str]) -> str:
+    result = partials[0]
+    for other in partials[1:]:
+        combined = f"{result}_{other}"
+        if spec.reduce == "sum":
+            builder.vfadd(combined, result, other, 1, label="merge partials")
+        else:
+            builder.vfmin(combined, result, other, 1, label="merge partials")
+        result = combined
+    return result
+
+
+def _store_empty_row(builder: AraProgramBuilder, row: int, addr_y: int,
+                     spec: CsrKernelSpec) -> None:
+    neutral = 0.0 if spec.reduce == "sum" else np.float32(np.finfo(np.float32).max)
+    builder.vmv_vx("vzero", float(neutral), 1, label=f"row {row} empty")
+    result = "vzero"
+    if spec.post_row is not None:
+        result = spec.post_row(builder, row, result)
+    builder.vse32(result, addr_y + row * 4, 1, label=f"store y[{row}]")

@@ -1,0 +1,28 @@
+"""Dense data generators for the strided workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+
+def random_matrix(n: int, seed: int = 1, scale: float = 1.0) -> np.ndarray:
+    """Random dense ``n x n`` FP32 matrix (the paper's strided inputs)."""
+    if n <= 0:
+        raise WorkloadError("matrix dimension must be positive")
+    rng = np.random.default_rng(seed)
+    return (rng.standard_normal((n, n)) * scale).astype(np.float32)
+
+
+def random_vector(n: int, seed: int = 2, scale: float = 1.0) -> np.ndarray:
+    """Random dense FP32 vector."""
+    if n <= 0:
+        raise WorkloadError("vector length must be positive")
+    rng = np.random.default_rng(seed)
+    return (rng.standard_normal(n) * scale).astype(np.float32)
+
+
+def upper_triangular(matrix: np.ndarray) -> np.ndarray:
+    """Zero everything below the diagonal (used by the trmv reference)."""
+    return np.triu(matrix).astype(np.float32)

@@ -1,0 +1,66 @@
+"""Workload registry: build any of the six kernels by name."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.errors import WorkloadError
+from repro.workloads.base import Workload
+from repro.workloads.gemv import GemvWorkload
+from repro.workloads.ismt import IsmtWorkload
+from repro.workloads.pagerank import PageRankWorkload
+from repro.workloads.spmv import SpmvWorkload
+from repro.workloads.sssp import SsspWorkload
+from repro.workloads.trmv import TrmvWorkload
+
+
+def _make_ismt(size: int = 64, **kwargs) -> Workload:
+    return IsmtWorkload(n=size, **kwargs)
+
+
+def _make_gemv(size: int = 64, **kwargs) -> Workload:
+    return GemvWorkload(n=size, **kwargs)
+
+
+def _make_trmv(size: int = 64, **kwargs) -> Workload:
+    return TrmvWorkload(n=size, **kwargs)
+
+
+def _make_spmv(size: int = 64, **kwargs) -> Workload:
+    return SpmvWorkload(num_rows=size, **kwargs)
+
+
+def _make_prank(size: int = 64, **kwargs) -> Workload:
+    return PageRankWorkload(num_rows=size, **kwargs)
+
+
+def _make_sssp(size: int = 64, **kwargs) -> Workload:
+    return SsspWorkload(num_rows=size, **kwargs)
+
+
+#: Factory for each of the paper's six benchmarks.
+WORKLOADS: Dict[str, Callable[..., Workload]] = {
+    "ismt": _make_ismt,
+    "gemv": _make_gemv,
+    "trmv": _make_trmv,
+    "spmv": _make_spmv,
+    "prank": _make_prank,
+    "sssp": _make_sssp,
+}
+
+#: The order the paper's figures list the benchmarks in.
+WORKLOAD_ORDER = ("ismt", "gemv", "trmv", "spmv", "prank", "sssp")
+
+
+def make_workload(name: str, size: int = 64, **kwargs) -> Workload:
+    """Instantiate a benchmark by name.
+
+    ``size`` is the matrix dimension for the dense (strided) workloads and
+    the row count for the sparse (indirect) ones; further keyword arguments
+    are forwarded to the workload constructor.
+    """
+    if name not in WORKLOADS:
+        raise WorkloadError(
+            f"unknown workload {name!r}; available: {sorted(WORKLOADS)}"
+        )
+    return WORKLOADS[name](size=size, **kwargs)

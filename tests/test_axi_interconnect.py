@@ -1,0 +1,149 @@
+"""Tests for the interconnect blocks and the AXI-Pack compatibility story."""
+
+import pytest
+
+from repro.axi.interconnect import (
+    AddressMap,
+    AddressRegion,
+    AxiDemux,
+    AxiMux,
+    DataWidthConverter,
+)
+from repro.axi.pack import PackMode, PackUserField
+from repro.axi.transaction import BusRequest
+from repro.errors import ConfigurationError, ProtocolError
+
+
+def strided_request(elems=64, stride=3, bus=32, addr=0x1000):
+    return BusRequest(addr=addr, is_write=False, num_elements=elems, elem_bytes=4,
+                      bus_bytes=bus, pack=PackUserField.strided(stride))
+
+
+def indirect_request(elems=64, bus=32, addr=0x1000, idx_base=0x9000):
+    return BusRequest(addr=addr, is_write=False, num_elements=elems, elem_bytes=4,
+                      bus_bytes=bus, pack=PackUserField.indirect(4, idx_base),
+                      index_base=idx_base)
+
+
+MAP = AddressMap([
+    AddressRegion(base=0x0000, size=0x8000, target=0),
+    AddressRegion(base=0x8000, size=0x8000, target=1),
+])
+
+
+class TestAddressMap:
+    def test_route(self):
+        assert MAP.route(0x10) == 0
+        assert MAP.route(0x8000) == 1
+        assert MAP.num_targets == 2
+
+    def test_unmapped_address_decerr(self):
+        with pytest.raises(ProtocolError):
+            MAP.route(0x2_0000)
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AddressMap([
+                AddressRegion(0, 0x100, 0),
+                AddressRegion(0x80, 0x100, 1),
+            ])
+
+    def test_empty_map_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AddressMap([])
+
+
+class TestDemuxPassThrough:
+    def test_packed_bursts_pass_unmodified(self):
+        """The compatibility claim: routing IP needs no AXI-Pack awareness."""
+        demux = AxiDemux(MAP)
+        for request in (strided_request(), indirect_request()):
+            target, forwarded = demux.route(request)
+            assert target == 0
+            assert forwarded is request          # same object, untouched
+            assert forwarded.pack is request.pack
+        assert demux.routed_counts[0] == 2
+
+    def test_routing_by_address(self):
+        demux = AxiDemux(MAP)
+        target, _ = demux.route(strided_request(addr=0x9000))
+        assert target == 1
+
+    def test_straddling_contiguous_burst_rejected(self):
+        # Use a region boundary that is not 4 KiB aligned so the burst itself
+        # is AXI-legal but straddles two targets of this particular map.
+        unaligned_map = AddressMap([
+            AddressRegion(base=0x0000, size=0x7F00, target=0),
+            AddressRegion(base=0x7F00, size=0x1000, target=1),
+        ])
+        demux = AxiDemux(unaligned_map)
+        request = BusRequest(addr=0x7EC0, is_write=False, num_elements=32,
+                             elem_bytes=4, bus_bytes=32, contiguous=True)
+        with pytest.raises(ProtocolError):
+            demux.route(request)
+
+    def test_mux_forwards_unchanged(self):
+        mux = AxiMux(2)
+        request = strided_request()
+        assert mux.forward(1, request) is request
+        assert mux.forwarded == [0, 1]
+        with pytest.raises(ConfigurationError):
+            mux.forward(5, request)
+
+
+class TestDataWidthConverter:
+    def test_downsize_repacks_strided_burst(self):
+        converter = DataWidthConverter(32, 16)
+        request = strided_request(elems=64, stride=5)
+        converted = converter.convert(request)
+        assert len(converted) == 1
+        down = converted[0]
+        assert down.bus_bytes == 16
+        assert down.num_beats == 16              # 4 elements per 128-bit beat
+        assert down.mode is PackMode.STRIDED
+        assert down.pack.stride_elems == 5
+        assert down.payload_bytes == request.payload_bytes
+
+    def test_upsize_reduces_beats(self):
+        converter = DataWidthConverter(16, 32)
+        request = strided_request(elems=64, bus=16)
+        down = converter.convert(request)[0]
+        assert down.num_beats == 8
+
+    def test_long_burst_split_at_256_beats(self):
+        converter = DataWidthConverter(32, 8)
+        request = strided_request(elems=1024, stride=2)
+        converted = converter.convert(request)
+        assert all(r.num_beats <= 256 for r in converted)
+        assert sum(r.num_elements for r in converted) == 1024
+        # The split continues at the right stride offset.
+        assert converted[1].addr == request.addr + converted[0].num_elements * 8
+
+    def test_indirect_split_advances_index_base(self):
+        converter = DataWidthConverter(32, 8)
+        request = indirect_request(elems=1024)
+        converted = converter.convert(request)
+        assert converted[1].index_base == request.index_base + converted[0].num_elements * 4
+        assert all(r.mode is PackMode.INDIRECT for r in converted)
+
+    def test_contiguous_conversion(self):
+        converter = DataWidthConverter(32, 16)
+        request = BusRequest(addr=0, is_write=False, num_elements=64, elem_bytes=4,
+                             bus_bytes=32, contiguous=True)
+        down = converter.convert(request)[0]
+        assert down.contiguous and down.num_beats == 16
+
+    def test_wrong_upstream_width_rejected(self):
+        converter = DataWidthConverter(16, 32)
+        with pytest.raises(ProtocolError):
+            converter.convert(strided_request(bus=32))
+
+    def test_element_wider_than_downstream_rejected(self):
+        converter = DataWidthConverter(32, 4)
+        request = BusRequest(addr=0, is_write=False, num_elements=4, elem_bytes=8,
+                             bus_bytes=32, pack=PackUserField.strided(1))
+        with pytest.raises(ProtocolError):
+            converter.convert(request)
+
+    def test_beat_ratio(self):
+        assert DataWidthConverter(32, 8).beat_ratio() == pytest.approx(4.0)

@@ -1,0 +1,173 @@
+"""Unit tests for the request regulator and the generic read/write pipes."""
+
+import pytest
+
+from repro.axi.pack import PackUserField
+from repro.axi.transaction import BusRequest
+from repro.controller.context import AdapterConfig
+from repro.controller.pipes import ReadPipe, WritePipe
+from repro.controller.planners import plan_narrow_beats, plan_strided_beats
+from repro.controller.regulator import RequestRegulator
+from repro.errors import SimulationError
+from repro.sim.stats import StatsRegistry
+
+
+class TestRegulator:
+    def test_limit_enforced(self):
+        regulator = RequestRegulator(num_ports=2, limit=2)
+        assert regulator.can_issue(0)
+        regulator.note_issue(0)
+        regulator.note_issue(0)
+        assert not regulator.can_issue(0)
+        assert regulator.can_issue(1)
+
+    def test_retire_frees_slot(self):
+        regulator = RequestRegulator(2, 1)
+        regulator.note_issue(1)
+        regulator.note_retire(1)
+        assert regulator.can_issue(1)
+
+    def test_overflow_raises(self):
+        regulator = RequestRegulator(1, 1)
+        regulator.note_issue(0)
+        with pytest.raises(SimulationError):
+            regulator.note_issue(0)
+
+    def test_underflow_raises(self):
+        regulator = RequestRegulator(1, 1)
+        with pytest.raises(SimulationError):
+            regulator.note_retire(0)
+
+    def test_totals(self):
+        regulator = RequestRegulator(4, 8)
+        regulator.note_issue(0)
+        regulator.note_issue(3)
+        assert regulator.total_in_flight() == 2
+        assert regulator.in_flight(3) == 1
+        regulator.reset()
+        assert regulator.total_in_flight() == 0
+
+
+def _strided_request(elems=16, stride=2):
+    return BusRequest(addr=0, is_write=False, num_elements=elems, elem_bytes=4,
+                      bus_bytes=32, pack=PackUserField.strided(stride))
+
+
+def _config(queue_depth=4):
+    return AdapterConfig(bus_bytes=32, queue_depth=queue_depth)
+
+
+class TestReadPipe:
+    def test_issue_respects_free_ports(self):
+        pipe = ReadPipe("p", _config(), StatsRegistry())
+        request = _strided_request(8)
+        pipe.accept(request, plan_strided_beats(request, 4, 8, 0))
+        out = []
+        pipe.issue({0, 1, 2}, out)
+        # In-order issue stops at the first unavailable port (port 3).
+        assert len(out) == 3
+        assert [r.port for r in out] == [0, 1, 2]
+
+    def test_issue_respects_regulator(self):
+        pipe = ReadPipe("p", _config(queue_depth=1), StatsRegistry())
+        request = _strided_request(16)
+        pipe.accept(request, plan_strided_beats(request, 4, 8, 0))
+        out = []
+        pipe.issue(set(range(8)), out)
+        assert len(out) == 8  # one per lane
+        out2 = []
+        pipe.issue(set(range(8)), out2)
+        assert out2 == []  # regulator full until responses retire
+
+    def test_beat_completion_and_packing(self):
+        pipe = ReadPipe("p", _config(), StatsRegistry())
+        request = _strided_request(8)
+        pipe.accept(request, plan_strided_beats(request, 4, 8, 0))
+        out = []
+        pipe.issue(set(range(8)), out)
+        assert pipe.pop_ready_beat() is None
+        for word in out:
+            _, state, slot = word.tag
+            pipe.take_response(state, slot, bytes([slot.port] * 4))
+        plan, data, req = pipe.pop_ready_beat()
+        assert req is request
+        assert plan.useful_bytes == 32
+        assert data == bytes(sum([[p] * 4 for p in range(8)], []))
+
+    def test_beats_emitted_in_order(self):
+        pipe = ReadPipe("p", _config(queue_depth=8), StatsRegistry())
+        request = _strided_request(16)
+        pipe.accept(request, plan_strided_beats(request, 4, 8, 0))
+        out = []
+        pipe.issue(set(range(8)), out)
+        pipe.issue(set(range(8)), out)
+        assert len(out) == 16
+        # Answer the second beat's words first: nothing can be emitted yet.
+        for word in out[8:]:
+            _, state, slot = word.tag
+            pipe.take_response(state, slot, b"\x00" * 4)
+        assert pipe.pop_ready_beat() is None
+        for word in out[:8]:
+            _, state, slot = word.tag
+            pipe.take_response(state, slot, b"\x00" * 4)
+        first = pipe.pop_ready_beat()
+        second = pipe.pop_ready_beat()
+        assert first[0].beat_index == 0 and second[0].beat_index == 1
+
+    def test_r_beat_wrapper(self):
+        pipe = ReadPipe("p", _config(), StatsRegistry())
+        request = _strided_request(4)
+        pipe.accept(request, plan_strided_beats(request, 4, 8, 0))
+        out = []
+        pipe.issue(set(range(8)), out)
+        for word in out:
+            _, state, slot = word.tag
+            pipe.take_response(state, slot, b"\xAA" * 4)
+        beat = pipe.pop_ready_r_beat()
+        assert beat.txn_id == request.txn_id
+        assert beat.useful_bytes == 16
+        assert beat.last
+
+    def test_busy_tracking(self):
+        pipe = ReadPipe("p", _config(), StatsRegistry())
+        assert not pipe.busy()
+        request = _strided_request(8)
+        pipe.accept(request, plan_strided_beats(request, 4, 8, 0))
+        assert pipe.busy()
+        pipe.reset()
+        assert not pipe.busy()
+
+
+class TestWritePipe:
+    def test_write_flow_and_b_response(self):
+        config = _config()
+        pipe = WritePipe("w", config, StatsRegistry())
+        request = BusRequest(addr=0, is_write=True, num_elements=8, elem_bytes=4,
+                             bus_bytes=32, pack=PackUserField.strided(2))
+        pipe.accept(request, iter(plan_strided_beats(request, 4, 8, 0)))
+        assert pipe.expecting_w_data()
+        pipe.take_w_beat(bytes(range(32)))
+        out = []
+        pipe.issue(set(range(8)), out)
+        assert len(out) == 8
+        assert all(word.is_write and word.data is not None for word in out)
+        assert pipe.pop_ready_b_beat() is None
+        for word in out:
+            _, state, slot = word.tag
+            pipe.take_ack(state, slot)
+        beat = pipe.pop_ready_b_beat()
+        assert beat is not None and beat.txn_id == request.txn_id
+        assert not pipe.busy()
+
+    def test_word_write_data_matches_payload_slots(self):
+        pipe = WritePipe("w", _config(), StatsRegistry())
+        request = BusRequest(addr=0, is_write=True, num_elements=8, elem_bytes=4,
+                             bus_bytes=32, pack=PackUserField.strided(1))
+        pipe.accept(request, iter(plan_strided_beats(request, 4, 8, 0)))
+        payload = bytes(range(32))
+        pipe.take_w_beat(payload)
+        out = []
+        pipe.issue(set(range(8)), out)
+        for word in out:
+            _, _, slot = word.tag
+            assert word.data == payload[slot.offset:slot.offset + 4]

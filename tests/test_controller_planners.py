@@ -1,0 +1,138 @@
+"""Unit tests for the converter beat planners."""
+
+import pytest
+
+from repro.axi.pack import PackUserField
+from repro.axi.transaction import BusRequest
+from repro.controller.planners import (
+    plan_contiguous_beats,
+    plan_index_fetch_beats,
+    plan_indexed_beat,
+    plan_narrow_beats,
+    plan_strided_beats,
+)
+from repro.errors import ProtocolError
+
+
+def strided_request(elems=16, stride=3, elem_bytes=4):
+    return BusRequest(addr=0x100, is_write=False, num_elements=elems,
+                      elem_bytes=elem_bytes, bus_bytes=32,
+                      pack=PackUserField.strided(stride))
+
+
+class TestStridedPlanner:
+    def test_beat_count_and_slots(self):
+        plans = list(plan_strided_beats(strided_request(16, 3), 4, 8, 0))
+        assert len(plans) == 2
+        assert all(plan.num_words == 8 for plan in plans)
+        assert plans[0].useful_bytes == 32
+        assert plans[-1].last
+
+    def test_word_addresses_follow_stride(self):
+        plans = list(plan_strided_beats(strided_request(8, 5), 4, 8, 0))
+        addrs = [slot.word_addr * 4 for slot in plans[0].slots]
+        assert addrs == [0x100 + i * 20 for i in range(8)]
+
+    def test_ports_are_distinct_within_beat(self):
+        plans = list(plan_strided_beats(strided_request(8, 2), 4, 8, 0))
+        ports = [slot.port for slot in plans[0].slots]
+        assert sorted(ports) == list(range(8))
+
+    def test_multi_word_elements(self):
+        request = BusRequest(addr=0, is_write=False, num_elements=4, elem_bytes=8,
+                             bus_bytes=32, pack=PackUserField.strided(2))
+        plans = list(plan_strided_beats(request, 4, 8, 0))
+        assert len(plans) == 1
+        assert plans[0].num_words == 8
+        # Each element contributes two consecutive words.
+        offsets = [slot.offset for slot in plans[0].slots]
+        assert offsets == [0, 4, 8, 12, 16, 20, 24, 28]
+
+    def test_partial_last_beat(self):
+        plans = list(plan_strided_beats(strided_request(11, 1), 4, 8, 0))
+        assert plans[1].useful_bytes == 12
+        assert plans[1].num_words == 3
+
+    def test_unaligned_element_rejected(self):
+        request = BusRequest(addr=2, is_write=False, num_elements=2, elem_bytes=4,
+                             bus_bytes=32, pack=PackUserField.strided(1))
+        with pytest.raises(ProtocolError):
+            list(plan_strided_beats(request, 4, 8, 0))
+
+
+class TestIndexedPlanner:
+    def test_indexed_beat_addresses(self):
+        request = BusRequest(addr=0x1000, is_write=False, num_elements=16, elem_bytes=4,
+                             bus_bytes=32, pack=PackUserField.indirect(4, 0x2000),
+                             index_base=0x2000)
+        plan = plan_indexed_beat(request, 0, [3, 7, 1, 0, 2, 9, 4, 8], 4, 8, 0)
+        addrs = [slot.word_addr * 4 for slot in plan.slots]
+        assert addrs == [0x1000 + i * 4 for i in (3, 7, 1, 0, 2, 9, 4, 8)]
+        assert plan.useful_bytes == 32
+
+    def test_partial_indexed_beat(self):
+        request = BusRequest(addr=0, is_write=False, num_elements=3, elem_bytes=4,
+                             bus_bytes=32, pack=PackUserField.indirect(4, 0),
+                             index_base=0)
+        plan = plan_indexed_beat(request, 0, [5, 6, 7], 4, 8, 0)
+        assert plan.useful_bytes == 12
+        assert plan.last
+
+
+class TestContiguousPlanner:
+    def test_aligned_burst(self):
+        request = BusRequest(addr=0, is_write=False, num_elements=16, elem_bytes=4,
+                             bus_bytes=32, contiguous=True)
+        plans = list(plan_contiguous_beats(request, 4, 8, 0))
+        assert len(plans) == 2
+        assert all(plan.useful_bytes == 32 for plan in plans)
+        assert [slot.word_addr for slot in plans[1].slots] == list(range(8, 16))
+
+    def test_misaligned_burst_edges(self):
+        request = BusRequest(addr=8, is_write=False, num_elements=16, elem_bytes=4,
+                             bus_bytes=32, contiguous=True)
+        plans = list(plan_contiguous_beats(request, 4, 8, 0))
+        assert plans[0].useful_bytes == 24
+        assert plans[-1].useful_bytes == 8
+        total = sum(plan.useful_bytes for plan in plans)
+        assert total == 64
+
+
+class TestNarrowPlanner:
+    def test_one_element_per_beat(self):
+        request = BusRequest(addr=0x40, is_write=False, num_elements=3, elem_bytes=4,
+                             bus_bytes=32, contiguous=False)
+        plans = list(plan_narrow_beats(request, 4, 8, 0))
+        assert len(plans) == 3
+        assert all(plan.num_words == 1 for plan in plans)
+        assert all(plan.useful_bytes == 4 for plan in plans)
+
+
+class TestIndexFetchPlanner:
+    def test_index_lines_cover_index_array(self):
+        plans = list(plan_index_fetch_beats(
+            index_base=0x100, num_indices=40, index_bytes=4,
+            bus_bytes=32, word_bytes=4, bus_words=8, txn_id=1, burst_seq=0,
+        ))
+        assert sum(plan.useful_bytes for plan in plans) == 160
+        assert len(plans) == 5
+        assert plans[-1].last
+
+    def test_unaligned_index_base(self):
+        plans = list(plan_index_fetch_beats(
+            index_base=0x104, num_indices=8, index_bytes=4,
+            bus_bytes=32, word_bytes=4, bus_words=8, txn_id=1, burst_seq=0,
+        ))
+        # 8 indices starting one word into a line need two lines.
+        assert len(plans) == 2
+        assert plans[0].useful_bytes == 28
+        assert plans[1].useful_bytes == 4
+
+    def test_small_index_sizes_pack_per_word(self):
+        plans = list(plan_index_fetch_beats(
+            index_base=0, num_indices=16, index_bytes=1,
+            bus_bytes=32, word_bytes=4, bus_words=8, txn_id=0, burst_seq=0,
+        ))
+        assert len(plans) == 1
+        assert plans[0].num_words == 4
+        assert plans[0].useful_bytes == 16

@@ -1,0 +1,110 @@
+"""Unit tests for the byte-addressable backing store."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MemoryError_
+from repro.mem.storage import MemoryStorage
+
+
+class TestRawAccess:
+    def test_read_back_written_bytes(self, storage):
+        storage.write(0x100, b"\x01\x02\x03\x04")
+        assert storage.read(0x100, 4).tolist() == [1, 2, 3, 4]
+
+    def test_write_accepts_numpy(self, storage):
+        storage.write(0, np.arange(8, dtype=np.uint8))
+        assert storage.read(0, 8).tolist() == list(range(8))
+
+    def test_out_of_range_read_rejected(self, storage):
+        with pytest.raises(MemoryError_):
+            storage.read(len(storage) - 2, 4)
+
+    def test_out_of_range_write_rejected(self, storage):
+        with pytest.raises(MemoryError_):
+            storage.write(len(storage), b"\x00")
+
+    def test_negative_address_rejected(self, storage):
+        with pytest.raises(MemoryError_):
+            storage.read(-1, 1)
+
+    def test_zero_size_memory_rejected(self):
+        with pytest.raises(Exception):
+            MemoryStorage(0)
+
+
+class TestTypedAccess:
+    def test_float32_roundtrip(self, storage):
+        values = np.asarray([1.5, -2.25, 3.0], dtype=np.float32)
+        storage.write_array(0x200, values)
+        assert np.array_equal(storage.read_array(0x200, 3, np.float32), values)
+
+    def test_uint32_roundtrip(self, storage):
+        values = np.asarray([1, 2, 3, 4], dtype=np.uint32)
+        storage.write_array(64, values)
+        assert np.array_equal(storage.read_array(64, 4, np.uint32), values)
+
+    def test_read_array_is_a_copy(self, storage):
+        storage.write_array(0, np.asarray([1.0], dtype=np.float32))
+        first = storage.read_array(0, 1, np.float32)
+        storage.write_array(0, np.asarray([2.0], dtype=np.float32))
+        assert first[0] == pytest.approx(1.0)
+
+
+class TestScatterGather:
+    def test_gather(self, storage):
+        data = np.arange(16, dtype=np.float32)
+        storage.write_array(0, data)
+        addresses = np.asarray([0, 8, 60])
+        gathered = storage.read_scattered(addresses, 4).view(np.float32)
+        assert gathered.tolist() == [0.0, 2.0, 15.0]
+
+    def test_scatter(self, storage):
+        addresses = np.asarray([0, 12, 4])
+        payload = np.asarray([10.0, 11.0, 12.0], dtype=np.float32).view(np.uint8)
+        storage.write_scattered(addresses, payload, 4)
+        back = storage.read_array(0, 4, np.float32)
+        assert back.tolist() == [10.0, 12.0, 0.0, 11.0]
+
+    def test_scatter_size_mismatch_rejected(self, storage):
+        with pytest.raises(MemoryError_):
+            storage.write_scattered(np.asarray([0, 4]), b"\x00" * 4, 4)
+
+    def test_gather_out_of_range_rejected(self, storage):
+        with pytest.raises(MemoryError_):
+            storage.read_scattered(np.asarray([len(storage)]), 4)
+
+
+class TestUtilities:
+    def test_fill_and_snapshot(self, storage):
+        storage.fill(7)
+        snapshot = storage.snapshot()
+        assert snapshot[0] == 7 and snapshot[-1] == 7
+        # snapshot is a copy
+        snapshot[0] = 9
+        assert storage.read(0, 1)[0] == 7
+
+    def test_len(self):
+        assert len(MemoryStorage(1234)) == 1234
+
+
+class TestProperties:
+    @settings(max_examples=30)
+    @given(st.integers(min_value=0, max_value=1000), st.binary(min_size=1, max_size=256))
+    def test_write_read_roundtrip(self, addr, payload):
+        storage = MemoryStorage(4096)
+        if addr + len(payload) > 4096:
+            addr = 0
+        storage.write(addr, payload)
+        assert bytes(storage.read(addr, len(payload))) == payload
+
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=64, unique=True))
+    def test_scatter_gather_roundtrip(self, word_indices):
+        storage = MemoryStorage(4096)
+        addresses = np.asarray(word_indices) * 4
+        values = np.arange(len(addresses), dtype=np.float32)
+        storage.write_scattered(addresses, values.view(np.uint8), 4)
+        back = storage.read_scattered(addresses, 4).view(np.float32)
+        assert np.array_equal(back, values)

@@ -1,0 +1,79 @@
+"""Tests for the analytic bandwidth model and its cross-validation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.fig5 import measure_strided_utilization
+from repro.errors import ConfigurationError
+from repro.perf.model import (
+    average_strided_read_utilization,
+    estimate_indirect_read_utilization,
+    estimate_strided_read_utilization,
+    ideal_indirect_utilization,
+    ideal_narrow_utilization,
+    strided_beat_conflict_factor,
+)
+
+
+class TestClosedForms:
+    def test_narrow_utilization(self):
+        assert ideal_narrow_utilization(4, 32) == pytest.approx(0.125)
+        assert ideal_narrow_utilization(32, 32) == pytest.approx(1.0)
+
+    def test_narrow_rejects_oversize_element(self):
+        with pytest.raises(ConfigurationError):
+            ideal_narrow_utilization(64, 32)
+
+    @pytest.mark.parametrize("elem,idx,expected", [
+        (4, 4, 0.5), (4, 2, 2 / 3), (4, 1, 0.8), (32, 4, 8 / 9),
+    ])
+    def test_indirect_bound_matches_paper(self, elem, idx, expected):
+        assert ideal_indirect_utilization(elem, idx) == pytest.approx(expected)
+
+    @given(st.sampled_from([4, 8, 16, 32]), st.sampled_from([1, 2, 4]))
+    def test_indirect_bound_in_unit_interval(self, elem, idx):
+        bound = ideal_indirect_utilization(elem, idx)
+        assert 0.5 <= bound < 1.0
+
+
+class TestStridedEstimates:
+    def test_odd_stride_conflict_free_with_prime_banks(self):
+        assert estimate_strided_read_utilization(5, num_banks=17) == pytest.approx(1.0)
+
+    def test_stride_zero_fully_serializes(self):
+        factor = strided_beat_conflict_factor(0, 4, 32, 4, 17)
+        assert factor == pytest.approx(8.0)
+
+    def test_power_of_two_banks_poor_on_even_strides(self):
+        po2 = estimate_strided_read_utilization(8, num_banks=16)
+        prime = estimate_strided_read_utilization(8, num_banks=17)
+        assert po2 <= 0.3
+        assert prime >= 0.9
+
+    def test_average_over_strides(self):
+        prime = average_strided_read_utilization(range(0, 16), num_banks=17)
+        po2 = average_strided_read_utilization(range(0, 16), num_banks=16)
+        assert prime > po2
+
+    def test_indirect_estimate_below_bound(self):
+        estimate = estimate_indirect_read_utilization(4, 4, num_banks=17)
+        assert 0.2 < estimate <= 0.5
+
+
+class TestCrossValidation:
+    """The analytic model must agree with the cycle-level controller."""
+
+    @pytest.mark.parametrize("stride,banks", [(1, 17), (3, 17), (8, 16), (8, 17), (4, 16)])
+    def test_strided_utilization_close_to_cycle_model(self, stride, banks):
+        analytic = estimate_strided_read_utilization(stride, num_banks=banks)
+        measured = measure_strided_utilization(32, stride, banks, num_beats=32)
+        # The cycle model includes start-up latencies, so allow a loose band.
+        assert measured <= analytic + 0.05
+        assert measured >= 0.55 * analytic
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=1, max_value=20))
+    def test_prime_banks_never_below_analytic_floor(self, stride):
+        measured = measure_strided_utilization(32, stride, 17, num_beats=16)
+        analytic = estimate_strided_read_utilization(stride, num_banks=17)
+        assert measured >= 0.5 * analytic

@@ -1,0 +1,130 @@
+"""Unit tests for the decoupled queue and latency pipe."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.queue import DecoupledQueue, LatencyPipe
+
+
+class TestDecoupledQueue:
+    def test_push_not_visible_before_commit(self):
+        queue = DecoupledQueue("q", 4)
+        queue.push(1)
+        assert not queue.can_pop()
+        queue.commit()
+        assert queue.can_pop()
+        assert queue.pop() == 1
+
+    def test_fifo_order(self):
+        queue = DecoupledQueue("q", 8)
+        for value in range(5):
+            queue.push(value)
+        queue.commit()
+        assert [queue.pop() for _ in range(5)] == list(range(5))
+
+    def test_capacity_includes_pending(self):
+        queue = DecoupledQueue("q", 2)
+        queue.push(1)
+        queue.push(2)
+        assert not queue.can_push()
+        with pytest.raises(SimulationError):
+            queue.push(3)
+
+    def test_pop_empty_raises(self):
+        queue = DecoupledQueue("q", 2)
+        with pytest.raises(SimulationError):
+            queue.pop()
+
+    def test_peek_returns_without_removing(self):
+        queue = DecoupledQueue("q", 2)
+        queue.push("a")
+        queue.commit()
+        assert queue.peek() == "a"
+        assert queue.can_pop()
+
+    def test_peek_empty_raises(self):
+        queue = DecoupledQueue("q", 2)
+        with pytest.raises(SimulationError):
+            queue.peek()
+
+    def test_len_counts_pending_and_committed(self):
+        queue = DecoupledQueue("q", 4)
+        queue.push(1)
+        queue.commit()
+        queue.push(2)
+        assert len(queue) == 2
+        assert queue.occupancy == 1
+        assert queue.pending == 1
+
+    def test_depth_must_be_positive(self):
+        with pytest.raises(Exception):
+            DecoupledQueue("q", 0)
+
+    def test_statistics(self):
+        queue = DecoupledQueue("q", 4)
+        for value in range(3):
+            queue.push(value)
+        queue.commit()
+        queue.pop()
+        assert queue.total_pushed == 3
+        assert queue.total_popped == 1
+        assert queue.max_occupancy == 3
+
+    def test_clear(self):
+        queue = DecoupledQueue("q", 4)
+        queue.push(1)
+        queue.commit()
+        queue.push(2)
+        queue.clear()
+        assert queue.is_empty()
+
+    @given(st.lists(st.integers(), max_size=30))
+    def test_order_preserved_property(self, items):
+        queue = DecoupledQueue("q", max(1, len(items)))
+        for item in items:
+            queue.push(item)
+        queue.commit()
+        popped = [queue.pop() for _ in range(len(items))]
+        assert popped == items
+
+
+class TestLatencyPipe:
+    def test_item_matures_after_latency(self):
+        pipe = LatencyPipe("p", 3)
+        pipe.push("x")
+        for _ in range(2):
+            pipe.advance()
+            assert not pipe.can_pop()
+        pipe.advance()
+        assert pipe.can_pop()
+        assert pipe.pop() == "x"
+
+    def test_early_pop_raises(self):
+        pipe = LatencyPipe("p", 2)
+        pipe.push(1)
+        with pytest.raises(SimulationError):
+            pipe.pop()
+
+    def test_zero_latency_rejected(self):
+        with pytest.raises(SimulationError):
+            LatencyPipe("p", 0)
+
+    def test_is_empty(self):
+        pipe = LatencyPipe("p", 1)
+        assert pipe.is_empty()
+        pipe.push(1)
+        assert not pipe.is_empty()
+        pipe.advance()
+        pipe.pop()
+        assert pipe.is_empty()
+
+    def test_pipelined_items_keep_order(self):
+        pipe = LatencyPipe("p", 2)
+        pipe.push(1)
+        pipe.advance()
+        pipe.push(2)
+        pipe.advance()
+        assert pipe.pop() == 1
+        pipe.advance()
+        assert pipe.pop() == 2
