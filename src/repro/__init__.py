@@ -18,15 +18,17 @@ The main entry points are:
   spmv, pagerank, sssp) and their data generators.
 * :mod:`repro.hw` — calibrated area / timing / energy models.
 * :mod:`repro.analysis` — one experiment driver per paper figure.
+* :mod:`repro.orchestrate` — cacheable run specs and the parallel runner
+  behind the CLI's ``--jobs`` / ``--cache`` / ``sweep`` features.
 
 Quick start::
 
-    from repro.system import SystemKind, build_system, run_workload
+    from repro.system import SystemKind, run_workload
     from repro.workloads import make_workload
 
     wl = make_workload("gemv", size=64)
-    result = run_workload(wl, SystemKind.PACK)
-    print(result.cycles, result.read_bus_utilization)
+    result = run_workload(wl, kind=SystemKind.PACK)
+    print(result.cycles, result.r_utilization)
 """
 
 from repro.version import __version__

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable, Dict, Mapping
 
 from repro.analysis import fig3, fig4, fig5
@@ -23,17 +24,28 @@ EXPERIMENTS: Mapping[str, Callable[..., ExperimentTable]] = {
     "fig5c": fig5.figure_5c,
 }
 
-#: Which experiments accept a ``scale`` keyword (the simulation-based ones).
-_SCALED = {"fig3a", "fig3b", "fig3c", "fig4c"}
+def _driver_accepts(driver, parameter: str) -> bool:
+    """Whether the driver's signature takes the given keyword."""
+    return parameter in inspect.signature(driver).parameters
 
 
-def run_experiment(name: str, scale: str = "small", **kwargs) -> ExperimentTable:
-    """Run one experiment by figure id and return its result table."""
+def run_experiment(name: str, scale: str = "small", runner=None,
+                   **kwargs) -> ExperimentTable:
+    """Run one experiment by figure id and return its result table.
+
+    ``scale`` and ``runner`` (a
+    :class:`repro.orchestrate.parallel.ParallelRunner`, enabling result
+    caching and parallel execution) are forwarded to every driver whose
+    signature accepts them — the simulation-based ones; the analytic area /
+    timing figures compute in microseconds, take neither, and stay serial.
+    """
     if name not in EXPERIMENTS:
         raise ConfigurationError(
             f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
         )
     driver = EXPERIMENTS[name]
-    if name in _SCALED:
-        return driver(scale=scale, **kwargs)
+    if runner is not None and _driver_accepts(driver, "runner"):
+        kwargs["runner"] = runner
+    if _driver_accepts(driver, "scale"):
+        kwargs["scale"] = scale
     return driver(**kwargs)

@@ -113,27 +113,37 @@ def figure_5a(
     include_ideal: bool = True,
     num_beats: int = 64,
     queue_depth: int = 32,
+    runner=None,
 ) -> ExperimentTable:
     """Fig. 5a: indirect-read utilization vs element/index sizes and banks."""
+    from repro.orchestrate.parallel import ParallelRunner
+    from repro.orchestrate.spec import UtilizationSpec
+
+    runner = runner or ParallelRunner()
     table = ExperimentTable(
         experiment="fig5a",
         caption="Indirect read R utilization vs element/index size and bank count",
         headers=["elem_bits", "index_bits", "banks", "r_utilization", "ideal_bound"],
     )
+    rows = []
+    specs = []
     for elem_bits, index_bits in size_pairs:
-        bound = ideal_indirect_utilization(elem_bits // 8, index_bits // 8)
         for banks in bank_counts:
-            utilization = measure_indirect_utilization(
-                elem_bits, index_bits, banks,
+            rows.append((elem_bits, index_bits, banks))
+            specs.append(UtilizationSpec.indirect(
+                elem_bits=elem_bits, index_bits=index_bits, num_banks=banks,
                 num_beats=num_beats, queue_depth=queue_depth,
-            )
-            table.add_row(elem_bits, index_bits, banks, utilization, bound)
+            ))
         if include_ideal:
-            utilization = measure_indirect_utilization(
-                elem_bits, index_bits, max(bank_counts),
+            rows.append((elem_bits, index_bits, "ideal"))
+            specs.append(UtilizationSpec.indirect(
+                elem_bits=elem_bits, index_bits=index_bits,
+                num_banks=max(bank_counts),
                 num_beats=num_beats, queue_depth=queue_depth, conflict_free=True,
-            )
-            table.add_row(elem_bits, index_bits, "ideal", utilization, bound)
+            ))
+    for (elem_bits, index_bits, banks), utilization in zip(rows, runner.run(specs)):
+        bound = ideal_indirect_utilization(elem_bits // 8, index_bits // 8)
+        table.add_row(elem_bits, index_bits, banks, utilization, bound)
     table.add_note("utilization is bounded by r/(r+1) for an element/index size "
                    "ratio r because index lines share the word ports")
     return table
@@ -145,6 +155,7 @@ def figure_5b(
     strides: Optional[Iterable[int]] = None,
     num_beats: int = 16,
     queue_depth: int = 32,
+    runner=None,
 ) -> ExperimentTable:
     """Fig. 5b: strided-read utilization vs element size and bank count.
 
@@ -152,6 +163,10 @@ def figure_5b(
     to an even-only subset would bias power-of-two bank counts pessimistically,
     so the default sweeps every stride in that range.
     """
+    from repro.orchestrate.parallel import ParallelRunner
+    from repro.orchestrate.spec import UtilizationSpec
+
+    runner = runner or ParallelRunner()
     stride_list = list(strides) if strides is not None else list(range(0, 64))
     table = ExperimentTable(
         experiment="fig5b",
@@ -159,16 +174,20 @@ def figure_5b(
                 f"(averaged over {len(stride_list)} strides)",
         headers=["elem_bits", "banks", "r_utilization"],
     )
-    for elem_bits in elem_sizes_bits:
-        for banks in bank_counts:
-            values = [
-                measure_strided_utilization(
-                    elem_bits, stride, banks,
-                    num_beats=num_beats, queue_depth=queue_depth,
-                )
-                for stride in stride_list
-            ]
-            table.add_row(elem_bits, banks, float(np.mean(values)))
+    cells = [(elem_bits, banks)
+             for elem_bits in elem_sizes_bits for banks in bank_counts]
+    specs = [
+        UtilizationSpec.strided(
+            elem_bits=elem_bits, stride_elems=stride, num_banks=banks,
+            num_beats=num_beats, queue_depth=queue_depth,
+        )
+        for elem_bits, banks in cells
+        for stride in stride_list
+    ]
+    values = runner.run(specs)
+    for index, (elem_bits, banks) in enumerate(cells):
+        per_cell = values[index * len(stride_list):(index + 1) * len(stride_list)]
+        table.add_row(elem_bits, banks, float(np.mean(per_cell)))
     table.add_note("prime bank counts avoid the systematic conflicts power-of-two "
                    "counts suffer on even strides")
     return table

@@ -3,9 +3,19 @@
 Examples::
 
     axi-pack-repro list
-    axi-pack-repro run fig3a --scale small
+    axi-pack-repro run fig3a --scale small --jobs 4
     axi-pack-repro run fig5c --csv fig5c.csv
-    axi-pack-repro workloads --size 48
+    axi-pack-repro workloads --size 48 --jobs 8
+    axi-pack-repro sweep fig3a fig5a --scale medium --jobs 8
+    axi-pack-repro sweep all --no-cache
+    axi-pack-repro cache --clear
+
+Simulation runs are orchestrated (see :mod:`repro.orchestrate`): ``--jobs N``
+fans independent simulations out over ``N`` worker processes, and the result
+cache under ``~/.cache/axi-pack-repro/`` (override with ``--cache-dir`` or
+``$AXI_PACK_CACHE_DIR``) lets repeat invocations skip re-simulation.  The
+``sweep`` subcommand caches by default; ``run`` and ``workloads`` keep their
+classic uncached behavior unless ``--cache`` is given.
 """
 
 from __future__ import annotations
@@ -17,10 +27,28 @@ from typing import List, Optional
 from repro.analysis.experiments import EXPERIMENTS, run_experiment
 from repro.analysis.fig3 import SCALES
 from repro.analysis.report import write_csv
+from repro.orchestrate import ParallelRunner, ResultCache, default_cache_dir, run_sweep
 from repro.system.config import SystemConfig
-from repro.system.runner import compare_systems
+from repro.system.runner import compare_systems_many
 from repro.version import __version__
-from repro.workloads.registry import WORKLOAD_ORDER, make_workload
+from repro.workloads.registry import WORKLOAD_ORDER
+
+
+def _add_orchestration_options(parser: argparse.ArgumentParser,
+                               cache_default: bool) -> None:
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for simulation runs "
+                             "(0 = one per CPU; default: 1, serial)")
+    parser.add_argument("--cache", action=argparse.BooleanOptionalAction,
+                        default=None,
+                        help="reuse cached simulation results and store new ones "
+                             f"(default: {'on' if cache_default else 'off'})")
+    parser.add_argument("--cache-dir", metavar="DIR",
+                        help="result cache location, implies --cache unless "
+                             f"--no-cache is given (default: {default_cache_dir()})")
+    parser.add_argument("--progress", action="store_true",
+                        help="print one line per finished simulation run")
+    parser.set_defaults(cache_default=cache_default)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -38,6 +66,19 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--scale", choices=sorted(SCALES), default="small",
                             help="problem size for simulation-based experiments")
     run_parser.add_argument("--csv", help="also write the table to a CSV file")
+    _add_orchestration_options(run_parser, cache_default=False)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run several experiments through one shared cache and pool"
+    )
+    sweep_parser.add_argument("experiments", nargs="+", metavar="EXPERIMENT",
+                              help=f"figure ids to run ({', '.join(sorted(EXPERIMENTS))}) "
+                                   "or 'all'")
+    sweep_parser.add_argument("--scale", choices=sorted(SCALES), default="small",
+                              help="problem size for simulation-based experiments")
+    sweep_parser.add_argument("--csv-dir", metavar="DIR",
+                              help="also write each table to DIR/<experiment>.csv")
+    _add_orchestration_options(sweep_parser, cache_default=True)
 
     wl_parser = subparsers.add_parser(
         "workloads", help="run every workload on BASE/PACK/IDEAL and summarize"
@@ -46,7 +87,40 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="matrix dimension / sparse row count")
     wl_parser.add_argument("--no-verify", action="store_true",
                            help="skip checking results against references")
+    _add_orchestration_options(wl_parser, cache_default=False)
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect or clear the result cache"
+    )
+    cache_parser.add_argument("--cache-dir", metavar="DIR",
+                              help=f"cache location (default: {default_cache_dir()})")
+    group = cache_parser.add_mutually_exclusive_group()
+    group.add_argument("--clear", action="store_true",
+                       help="delete every cache entry")
+    group.add_argument("--prune", action="store_true",
+                       help="delete entries from other package versions")
     return parser
+
+
+def _make_runner(args: argparse.Namespace) -> ParallelRunner:
+    if args.cache is not None:  # explicit --cache / --no-cache wins
+        enabled = args.cache
+        if not enabled and args.cache_dir is not None:
+            print("warning: --cache-dir is ignored with --no-cache",
+                  file=sys.stderr)
+    else:
+        enabled = args.cache_default or args.cache_dir is not None
+    cache = ResultCache(args.cache_dir) if enabled else None
+    progress = None
+    if args.progress:
+        progress = lambda event: print(event.render(), file=sys.stderr)
+    return ParallelRunner(jobs=args.jobs, cache=cache, progress=progress)
+
+
+def _report_cache(runner: ParallelRunner) -> None:
+    if runner.cache is not None:
+        where = getattr(runner.cache, "cache_dir", "in-memory, nothing written to disk")
+        print(f"cache: {runner.cache.stats.summary()} ({where})")
 
 
 def _cmd_list() -> int:
@@ -58,30 +132,79 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    table = run_experiment(args.experiment, scale=args.scale)
-    print(table.render())
-    if args.csv:
-        write_csv(table, args.csv)
-        print(f"wrote {args.csv}")
+    with _make_runner(args) as runner:
+        table = run_experiment(args.experiment, scale=args.scale, runner=runner)
+        print(table.render())
+        if args.csv:
+            write_csv(table, args.csv)
+            print(f"wrote {args.csv}")
+        _report_cache(runner)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.errors import ConfigurationError
+    from repro.orchestrate.cache import MemoryCache
+
+    with _make_runner(args) as runner:
+        if runner.cache is None:
+            # Intra-sweep dedup even under --no-cache: identical runs across
+            # the sweep's experiments execute once, nothing touches disk.
+            runner.cache = MemoryCache()
+        try:
+            tables = run_sweep(args.experiments, scale=args.scale, runner=runner)
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        for name, table in tables.items():
+            print(table.render())
+            print()
+            if args.csv_dir:
+                os.makedirs(args.csv_dir, exist_ok=True)
+                path = os.path.join(args.csv_dir, f"{name}.csv")
+                write_csv(table, path)
+                print(f"wrote {path}")
+        print(f"swept {len(tables)} experiment{'s' if len(tables) != 1 else ''} "
+              f"at scale={args.scale} with jobs={args.jobs}")
+        _report_cache(runner)
     return 0
 
 
 def _cmd_workloads(args: argparse.Namespace) -> int:
+    from repro.orchestrate.spec import WorkloadSpec
+
     config = SystemConfig()
     print(f"Running {len(WORKLOAD_ORDER)} workloads at size {args.size} "
           f"on BASE / PACK / IDEAL ({config.bus_bits}-bit bus, "
           f"{config.num_banks} banks)")
-    for name in WORKLOAD_ORDER:
-        comparison = compare_systems(
-            lambda n=name: make_workload(n, size=args.size),
-            config, verify=not args.no_verify,
+    specs = [WorkloadSpec.create(name, size=args.size) for name in WORKLOAD_ORDER]
+    with _make_runner(args) as runner:
+        comparisons = compare_systems_many(
+            specs, config, verify=not args.no_verify, runner=runner,
         )
-        print(f"  {name:<6s} speedup={comparison.pack_speedup:5.2f}x "
-              f"(ideal {comparison.ideal_speedup:5.2f}x)  "
-              f"R util base/pack/ideal = "
-              f"{comparison.base.r_utilization:5.1%} / "
-              f"{comparison.pack.r_utilization:5.1%} / "
-              f"{comparison.ideal.r_utilization:5.1%}")
+        for name in WORKLOAD_ORDER:
+            comparison = comparisons[name]
+            print(f"  {name:<6s} speedup={comparison.pack_speedup:5.2f}x "
+                  f"(ideal {comparison.ideal_speedup:5.2f}x)  "
+                  f"R util base/pack/ideal = "
+                  f"{comparison.base.r_utilization:5.1%} / "
+                  f"{comparison.pack.r_utilization:5.1%} / "
+                  f"{comparison.ideal.r_utilization:5.1%}")
+        _report_cache(runner)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.clear:
+        print(f"removed {cache.clear()} entries from {cache.cache_dir}")
+    elif args.prune:
+        print(f"pruned {cache.prune()} stale entries from {cache.cache_dir}")
+    else:
+        print(f"cache dir: {cache.cache_dir}")
+        print(f"entries:   {len(cache)}")
     return 0
 
 
@@ -93,8 +216,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_list()
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "workloads":
         return _cmd_workloads(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     parser.print_help()
     return 1
 

@@ -1,0 +1,246 @@
+"""On-disk result cache keyed by canonical spec fingerprints.
+
+Layout: one JSON file per entry under the cache directory, named
+``<sha256>.json``.  Each file stores the spec's full fingerprint next to the
+result payload, so entries are self-describing and a mismatched fingerprint
+(hash collision or hand-edited file) is treated as a miss.
+
+Invalidation is key-based: the package version and a cache schema number are
+part of every fingerprint, so bumping either simply makes old entries
+unreachable.  ``prune`` deletes entries whose recorded version differs from
+the running code's.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.version import __version__
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "AXI_PACK_CACHE_DIR"
+
+#: Sentinel returned by :meth:`ResultCache.get` on a miss (results themselves
+#: may legitimately be falsy, e.g. a 0.0 utilization).
+MISS = object()
+
+
+def _result_compatible(spec, result) -> bool:
+    """Apply the spec's compatibility rule to a cached result, if it has one.
+
+    Specs whose cache key is coarser than their request (e.g. ``RunSpec``
+    ignoring ``verify``) use this to reject entries that match the key but
+    cannot satisfy the request.
+    """
+    checker = getattr(spec, "result_compatible", None)
+    return checker(result) if checker is not None else True
+
+
+def default_cache_dir() -> Path:
+    """The cache directory used when none is given explicitly.
+
+    ``$AXI_PACK_CACHE_DIR`` wins, then ``$XDG_CACHE_HOME/axi-pack-repro``,
+    then ``~/.cache/axi-pack-repro``.
+    """
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "axi-pack-repro"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    errors: int = 0
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (f"{self.hits} hit{'s' if self.hits != 1 else ''}, "
+                f"{self.misses} miss{'es' if self.misses != 1 else ''}, "
+                f"{self.stores} stored")
+
+
+class MemoryCache:
+    """In-process result cache: same interface as :class:`ResultCache`,
+    nothing ever touches disk.
+
+    Used by :func:`repro.orchestrate.sweep.run_sweep` to deduplicate
+    identical runs *within* one sweep (e.g. Fig. 4c reusing Fig. 3a's
+    simulations) even when the user opted out of the persistent cache.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, Any] = {}
+        self.stats = CacheStats()
+
+    def get(self, spec):
+        """Return the in-memory result for ``spec``, or :data:`MISS`."""
+        key = spec.cache_key()
+        if key in self._entries and _result_compatible(spec, self._entries[key]):
+            self.stats.hits += 1
+            return self._entries[key]
+        self.stats.misses += 1
+        return MISS
+
+    def put(self, spec, result) -> None:
+        """Remember ``result`` for ``spec`` for this process's lifetime."""
+        self._entries[spec.cache_key()] = result
+        self.stats.stores += 1
+
+    def clear(self) -> int:
+        removed = len(self._entries)
+        self._entries.clear()
+        return removed
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class ResultCache:
+    """Persists spec results as JSON files with hit/miss accounting.
+
+    Any spec exposing ``cache_key()``, ``fingerprint()``, ``result_to_json()``
+    and ``result_from_json()`` (see :mod:`repro.orchestrate.spec`) can be
+    cached.  I/O failures degrade to misses — a broken cache never breaks an
+    experiment, it just stops saving time.
+    """
+
+    def __init__(self, cache_dir: Optional[os.PathLike] = None,
+                 version: str = __version__) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+        self.version = version
+        self.stats = CacheStats()
+
+    def path_for(self, spec) -> Path:
+        """The file this spec's result lives in (whether or not it exists)."""
+        return self.cache_dir / f"{spec.cache_key()}.json"
+
+    def get(self, spec):
+        """Return the cached result for ``spec``, or :data:`MISS`."""
+        path = self.path_for(spec)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return MISS
+        except (OSError, ValueError):
+            # ValueError covers json.JSONDecodeError and the
+            # UnicodeDecodeError a binary-corrupted file raises.
+            self.stats.misses += 1
+            self.stats.errors += 1
+            return MISS
+        if not isinstance(entry, dict):
+            # Valid JSON but not an entry (corrupt or foreign file): a miss,
+            # never a crash.
+            self.stats.misses += 1
+            self.stats.errors += 1
+            return MISS
+        from repro.orchestrate.spec import canonicalize
+
+        if entry.get("fingerprint") != canonicalize(spec.fingerprint()):
+            # Hash collision or stale/corrupt entry: never trust it.
+            self.stats.misses += 1
+            return MISS
+        try:
+            result = spec.result_from_json(entry["result"])
+        except (KeyError, TypeError, ValueError):
+            self.stats.misses += 1
+            self.stats.errors += 1
+            return MISS
+        if not _result_compatible(spec, result):
+            self.stats.misses += 1
+            return MISS
+        self.stats.hits += 1
+        return result
+
+    def put(self, spec, result) -> None:
+        """Store ``result`` for ``spec`` (atomic write, best-effort)."""
+        from repro.orchestrate.spec import canonicalize
+
+        entry: Dict[str, Any] = {
+            "version": self.version,
+            "fingerprint": canonicalize(spec.fingerprint()),
+            "result": spec.result_to_json(result),
+        }
+        path = self.path_for(spec)
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=str(self.cache_dir), suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(entry, handle, sort_keys=True)
+                os.replace(tmp, path)
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except OSError:
+            self.stats.errors += 1
+            return
+        self.stats.stores += 1
+
+    def prune(self) -> int:
+        """Delete entries from another package version or cache schema."""
+        from repro.orchestrate.spec import CACHE_SCHEMA_VERSION
+
+        removed = self._remove_orphaned_tmp()
+        for path in self.cache_dir.glob("*.json"):
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    entry = json.load(handle)
+                if isinstance(entry, dict):
+                    fingerprint = entry.get("fingerprint")
+                    schema = (fingerprint.get("schema")
+                              if isinstance(fingerprint, dict) else None)
+                    stale = (entry.get("version") != self.version
+                             or schema != CACHE_SCHEMA_VERSION)
+                else:
+                    stale = True
+            except (OSError, ValueError):
+                stale = True
+            if stale:
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    self.stats.errors += 1
+        return removed
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = self._remove_orphaned_tmp()
+        for path in self.cache_dir.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                self.stats.errors += 1
+        return removed
+
+    def _remove_orphaned_tmp(self) -> int:
+        """Sweep .tmp files left by a put() interrupted mid-write (SIGKILL)."""
+        removed = 0
+        for path in self.cache_dir.glob("*.tmp"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                self.stats.errors += 1
+        return removed
+
+    def __len__(self) -> int:
+        try:
+            return sum(1 for _ in self.cache_dir.glob("*.json"))
+        except OSError:
+            return 0

@@ -1,0 +1,182 @@
+"""Fan independent simulation runs out across processes.
+
+Simulations are pure CPU-bound Python, so threads cannot help (GIL); the
+runner uses :class:`concurrent.futures.ProcessPoolExecutor`.  Specs are
+declarative and picklable (see :mod:`repro.orchestrate.spec`), results are
+plain dataclasses, and workloads are deterministic, so executing in worker
+processes yields bit-identical results to a serial loop — results are always
+collected back **in submission order** regardless of completion order.
+
+If a process pool cannot be created (restricted sandboxes, missing
+semaphores) the runner silently degrades to the serial path: orchestration
+never makes an experiment fail that would have worked serially.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.orchestrate.cache import MISS, ResultCache
+
+#: Progress callback signature: called once per finished spec.
+ProgressCallback = Callable[["RunProgress"], None]
+
+
+@dataclass(frozen=True)
+class RunProgress:
+    """One progress event: ``done`` of ``total`` specs finished."""
+
+    done: int
+    total: int
+    spec: Any
+    cached: bool
+
+    def render(self) -> str:
+        """Compact one-line rendering (used by the CLI)."""
+        source = "cache" if self.cached else "run"
+        return f"[{self.done}/{self.total}] {self.spec.label()} ({source})"
+
+
+def _execute_spec(spec):
+    """Module-level worker so specs can be executed in child processes."""
+    return spec.execute()
+
+
+class ParallelRunner:
+    """Executes batches of specs with optional caching and parallelism.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count.  ``1`` (the default) runs serially in-process;
+        ``None`` or ``0`` means one worker per CPU.
+    cache:
+        A :class:`~repro.orchestrate.cache.ResultCache`; ``None`` disables
+        caching.  Hits skip execution entirely, misses are stored after
+        execution.
+    progress:
+        Optional callback invoked with a :class:`RunProgress` after every
+        spec resolves (from cache or execution).
+    """
+
+    def __init__(self, jobs: Optional[int] = 1,
+                 cache: Optional[ResultCache] = None,
+                 progress: Optional[ProgressCallback] = None) -> None:
+        if jobs is None or jobs <= 0:
+            jobs = os.cpu_count() or 1
+        self.jobs = jobs
+        self.cache = cache
+        self.progress = progress
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._pool_unavailable = False
+
+    def close(self) -> None:
+        """Shut down the worker pool (if one was ever created).
+
+        Queued-but-unstarted work is cancelled: when a batch aborts early
+        (a spec raised, Ctrl-C), nobody is waiting for the remaining
+        results, so finishing them would only delay the error.
+        """
+        if self._executor is not None:
+            self._executor.shutdown(cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "ParallelRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------ helpers
+    def _notify(self, done: int, total: int, spec, cached: bool) -> None:
+        if self.progress is not None:
+            self.progress(RunProgress(done=done, total=total, spec=spec, cached=cached))
+
+    def _finish(self, spec, result, cached: bool):
+        if self.cache is not None and not cached:
+            self.cache.put(spec, result)
+        return result
+
+    # ---------------------------------------------------------------- api
+    def run(self, specs: Sequence[Any]) -> List[Any]:
+        """Execute every spec; return results in the order specs were given."""
+        specs = list(specs)
+        total = len(specs)
+        results: List[Any] = [MISS] * total
+        pending: List[int] = []
+        done = 0
+        for index, spec in enumerate(specs):
+            hit = self.cache.get(spec) if self.cache is not None else MISS
+            if hit is not MISS:
+                results[index] = hit
+                done += 1
+                self._notify(done, total, spec, cached=True)
+            else:
+                pending.append(index)
+
+        if len(pending) > 1 and self.jobs > 1:
+            done = self._run_pool(specs, pending, results, done, total)
+        else:
+            done = self._run_serial(specs, pending, results, done, total)
+        return results
+
+    def _executor_or_none(self) -> Optional[ProcessPoolExecutor]:
+        """The shared worker pool, created lazily on first parallel batch.
+
+        The pool lives for the runner's lifetime (until :meth:`close`), so a
+        multi-experiment sweep pays worker startup — interpreter + numpy
+        import on spawn-based platforms — once, not once per experiment.
+        """
+        if self._pool_unavailable:
+            return None
+        if self._executor is None:
+            try:
+                self._executor = ProcessPoolExecutor(max_workers=self.jobs)
+            except (OSError, PermissionError, ValueError):
+                # No usable multiprocessing primitives here; stay serial.
+                self._pool_unavailable = True
+                return None
+        return self._executor
+
+    def _run_serial(self, specs, pending, results, done, total) -> int:
+        for index in pending:
+            results[index] = self._finish(specs[index], specs[index].execute(),
+                                          cached=False)
+            done += 1
+            self._notify(done, total, specs[index], cached=False)
+        return done
+
+    def _run_pool(self, specs, pending, results, done, total) -> int:
+        executor = self._executor_or_none()
+        if executor is None:
+            return self._run_serial(specs, pending, results, done, total)
+        # Pool construction succeeds lazily, so worker spawn failures and
+        # mid-run worker deaths surface as BrokenProcessPool — either
+        # synchronously from submit() or from future.result().  Both degrade
+        # to serial execution of whatever has not finished; subsequent
+        # batches skip the pool entirely.
+        remaining = set(pending)
+        try:
+            futures = {executor.submit(_execute_spec, specs[index]): index
+                       for index in pending}
+            for future in as_completed(futures):
+                index = futures[future]
+                try:
+                    result = future.result()
+                except BrokenProcessPool:
+                    self._pool_unavailable = True
+                    result = specs[index].execute()
+                results[index] = self._finish(specs[index], result, cached=False)
+                remaining.discard(index)
+                done += 1
+                self._notify(done, total, specs[index], cached=False)
+        except BrokenProcessPool:
+            self._pool_unavailable = True
+        if self._pool_unavailable:
+            self.close()
+            done = self._run_serial(specs, sorted(remaining), results, done, total)
+        return done

@@ -1,0 +1,69 @@
+"""JSON round-tripping for simulation results.
+
+The cache stores :class:`~repro.system.results.SystemRunResult` objects as
+plain JSON so entries stay inspectable (``cat`` a cache file to see exactly
+what was measured) and survive package upgrades that do not change result
+semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping
+
+from repro.system.config import SystemKind
+from repro.system.results import SystemRunResult
+from repro.vector.engine import EngineResult
+
+
+def _plain_number(value: Any) -> Any:
+    """Convert numpy scalars to their Python equivalents."""
+    if hasattr(value, "item") and callable(value.item):
+        return value.item()
+    return value
+
+
+def engine_result_to_dict(engine: EngineResult) -> Dict[str, Any]:
+    """Flatten an :class:`EngineResult` into JSON-safe plain data."""
+    return {
+        "cycles": _plain_number(engine.cycles),
+        "instructions": _plain_number(engine.instructions),
+        "r_beats": _plain_number(engine.r_beats),
+        "r_useful_bytes": _plain_number(engine.r_useful_bytes),
+        "r_data_bytes": _plain_number(engine.r_data_bytes),
+        "r_index_bytes": _plain_number(engine.r_index_bytes),
+        "w_beats": _plain_number(engine.w_beats),
+        "w_useful_bytes": _plain_number(engine.w_useful_bytes),
+        "bus_bytes": _plain_number(engine.bus_bytes),
+    }
+
+
+def engine_result_from_dict(data: Mapping[str, Any]) -> EngineResult:
+    """Rebuild an :class:`EngineResult` from its JSON form."""
+    return EngineResult(**{key: data[key] for key in (
+        "cycles", "instructions", "r_beats", "r_useful_bytes", "r_data_bytes",
+        "r_index_bytes", "w_beats", "w_useful_bytes", "bus_bytes",
+    )})
+
+
+def system_run_result_to_dict(result: SystemRunResult) -> Dict[str, Any]:
+    """Flatten a :class:`SystemRunResult` into JSON-safe plain data."""
+    return {
+        "workload": result.workload,
+        "kind": result.kind.value,
+        "cycles": _plain_number(result.cycles),
+        "engine": engine_result_to_dict(result.engine),
+        "stats": {key: _plain_number(value) for key, value in result.stats.items()},
+        "verified": result.verified,
+    }
+
+
+def system_run_result_from_dict(data: Mapping[str, Any]) -> SystemRunResult:
+    """Rebuild a :class:`SystemRunResult` from its JSON form."""
+    return SystemRunResult(
+        workload=data["workload"],
+        kind=SystemKind(data["kind"]),
+        cycles=data["cycles"],
+        engine=engine_result_from_dict(data["engine"]),
+        stats=dict(data["stats"]),
+        verified=data["verified"],
+    )

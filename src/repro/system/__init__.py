@@ -3,7 +3,12 @@
 from repro.system.config import SystemConfig, SystemKind
 from repro.system.soc import Soc, build_system
 from repro.system.results import SystemRunResult
-from repro.system.runner import run_workload, run_workload_all_systems, compare_systems
+from repro.system.runner import (
+    compare_systems,
+    compare_systems_many,
+    run_workload,
+    run_workload_all_systems,
+)
 
 __all__ = [
     "SystemConfig",
@@ -14,4 +19,5 @@ __all__ = [
     "run_workload",
     "run_workload_all_systems",
     "compare_systems",
+    "compare_systems_many",
 ]

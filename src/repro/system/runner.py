@@ -1,12 +1,25 @@
-"""High-level helpers to run workloads on the evaluation systems."""
+"""High-level helpers to run workloads on the evaluation systems.
+
+Multi-run helpers (``run_workload_all_systems``, ``compare_systems``,
+``compare_systems_many``) submit their runs through the
+:mod:`repro.orchestrate` layer: pass a
+:class:`~repro.orchestrate.spec.WorkloadSpec` (instead of a factory
+callable) and a :class:`~repro.orchestrate.parallel.ParallelRunner` to get
+result caching and multi-core fan-out.  Plain callables are still accepted
+for backwards compatibility and run serially, uncached — a closure can be
+neither hashed for the cache nor pickled to a worker process.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.system.config import SystemConfig, SystemKind
 from repro.system.results import SystemRunResult, WorkloadComparison
 from repro.system.soc import build_system
+
+#: The three systems every comparison covers, in the paper's order.
+ALL_KINDS = (SystemKind.BASE, SystemKind.PACK, SystemKind.IDEAL)
 
 
 def run_workload(
@@ -48,20 +61,42 @@ def run_workload(
     )
 
 
+def _as_workload_spec(workload):
+    """Return a ``WorkloadSpec`` if ``workload`` is one, else ``None``."""
+    from repro.orchestrate.spec import WorkloadSpec
+
+    return workload if isinstance(workload, WorkloadSpec) else None
+
+
 def run_workload_all_systems(
     workload_factory,
     config: Optional[SystemConfig] = None,
-    kinds: Iterable[SystemKind] = (SystemKind.BASE, SystemKind.PACK, SystemKind.IDEAL),
+    kinds: Iterable[SystemKind] = ALL_KINDS,
     verify: bool = True,
     max_cycles: int = 50_000_000,
+    runner=None,
 ) -> Dict[SystemKind, SystemRunResult]:
     """Run a workload on several systems.
 
-    ``workload_factory`` is called once per system so each run gets a fresh
-    workload instance (system-specific dataflow choices happen inside the
-    workload's ``build_program``).
+    ``workload_factory`` is either a
+    :class:`~repro.orchestrate.spec.WorkloadSpec` (orchestrated: cacheable
+    and parallelizable via ``runner``) or a zero-argument callable returning
+    a fresh workload per system (legacy: serial, uncached).
     """
+    from repro.orchestrate.parallel import ParallelRunner
+    from repro.orchestrate.spec import RunSpec
+
     config = config or SystemConfig()
+    kinds = tuple(kinds)
+    spec = _as_workload_spec(workload_factory)
+    if spec is not None:
+        runner = runner or ParallelRunner()
+        specs = [
+            RunSpec(workload=spec, config=config, kind=kind,
+                    verify=verify, max_cycles=max_cycles)
+            for kind in kinds
+        ]
+        return dict(zip(kinds, runner.run(specs)))
     results: Dict[SystemKind, SystemRunResult] = {}
     for kind in kinds:
         workload = workload_factory()
@@ -76,10 +111,12 @@ def compare_systems(
     config: Optional[SystemConfig] = None,
     verify: bool = True,
     max_cycles: int = 50_000_000,
+    runner=None,
 ) -> WorkloadComparison:
     """Run a workload on BASE, PACK and IDEAL and package the comparison."""
     results = run_workload_all_systems(
-        workload_factory, config, verify=verify, max_cycles=max_cycles
+        workload_factory, config, verify=verify, max_cycles=max_cycles,
+        runner=runner,
     )
     sample = next(iter(results.values()))
     return WorkloadComparison(
@@ -88,3 +125,45 @@ def compare_systems(
         pack=results[SystemKind.PACK],
         ideal=results[SystemKind.IDEAL],
     )
+
+
+def compare_systems_many(
+    workload_specs: Sequence,
+    config: Optional[SystemConfig] = None,
+    verify: bool = True,
+    max_cycles: int = 50_000_000,
+    runner=None,
+) -> Dict[str, WorkloadComparison]:
+    """BASE/PACK/IDEAL comparisons for many workloads in one batch.
+
+    All ``len(workload_specs) * 3`` runs are submitted to the runner as a
+    single batch, so with ``--jobs N`` the whole grid fans out at once
+    instead of parallelizing only within one workload's three systems.
+    Returns comparisons keyed by workload name, in input order.
+    """
+    from repro.errors import ConfigurationError
+    from repro.orchestrate.parallel import ParallelRunner
+    from repro.orchestrate.spec import RunSpec
+
+    names = [spec.name for spec in workload_specs]
+    if len(set(names)) != len(names):
+        raise ConfigurationError(
+            "compare_systems_many keys its result by workload name; "
+            f"duplicate names in {names} would silently drop comparisons"
+        )
+    config = config or SystemConfig()
+    runner = runner or ParallelRunner()
+    specs: List[RunSpec] = [
+        RunSpec(workload=spec, config=config, kind=kind,
+                verify=verify, max_cycles=max_cycles)
+        for spec in workload_specs
+        for kind in ALL_KINDS
+    ]
+    results = runner.run(specs)
+    comparisons: Dict[str, WorkloadComparison] = {}
+    for index, spec in enumerate(workload_specs):
+        base, pack, ideal = results[index * len(ALL_KINDS):(index + 1) * len(ALL_KINDS)]
+        comparisons[spec.name] = WorkloadComparison(
+            workload=base.workload, base=base, pack=pack, ideal=ideal,
+        )
+    return comparisons
