@@ -1,0 +1,87 @@
+"""CI bench gate: fail when simulation throughput regresses.
+
+Compares a freshly emitted ``BENCH_headline.json`` against the checked-in
+``benchmarks/baseline.json``.  Raw cycles/sec is machine-dependent, so both
+files carry a *calibration score* (a fixed pure-Python loop, see
+``bench_headline.calibration_score``); the expected throughput on the
+current machine is the baseline throughput scaled by the ratio of
+calibration scores.  The gate fails when the measured aggregate cycles/sec
+falls more than ``--threshold-pct`` (default 20, override with
+``$REPRO_BENCH_GATE_PCT``) below that expectation, or when any grid point
+diverged from the tick-every-cycle engine.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py BENCH_headline.json benchmarks/baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path: str) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="freshly emitted BENCH_headline.json")
+    parser.add_argument("baseline", help="checked-in baseline.json")
+    parser.add_argument(
+        "--threshold-pct",
+        type=float,
+        default=float(os.environ.get("REPRO_BENCH_GATE_PCT", "20")),
+        help="maximum allowed regression in percent (default 20)",
+    )
+    args = parser.parse_args(argv)
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+
+    failures = []
+
+    # Correctness gate: the event-driven engine must match the seed behaviour.
+    diverged = [
+        f"{p['workload']}/{p['system']}/{p['memory']}"
+        for p in current.get("grid", [])
+        if p.get("identical_to_naive") is False
+    ]
+    if diverged:
+        failures.append(f"results diverged from the seed-behaviour engine: {diverged}")
+
+    cur_cps = current["totals"]["cycles_per_sec"]
+    base_cps = baseline["totals"]["cycles_per_sec"]
+    cur_cal = current["calibration_score"]
+    base_cal = baseline["calibration_score"]
+    machine_ratio = cur_cal / base_cal
+    expected_cps = base_cps * machine_ratio
+    change_pct = 100.0 * (cur_cps - expected_cps) / expected_cps
+
+    print(f"baseline : {base_cps:12.0f} cycles/sec (calibration {base_cal:.0f})")
+    print(f"current  : {cur_cps:12.0f} cycles/sec (calibration {cur_cal:.0f})")
+    print(f"machine speed ratio      : {machine_ratio:.3f}x")
+    print(f"expected on this machine : {expected_cps:12.0f} cycles/sec")
+    print(f"throughput vs expectation: {change_pct:+.1f}% "
+          f"(gate: -{args.threshold_pct:.0f}%)")
+
+    if cur_cps < expected_cps * (1.0 - args.threshold_pct / 100.0):
+        failures.append(
+            f"cycles/sec regressed {-change_pct:.1f}% vs calibrated baseline "
+            f"(allowed: {args.threshold_pct:.0f}%)"
+        )
+
+    if failures:
+        for failure in failures:
+            print(f"BENCH GATE FAILURE: {failure}", file=sys.stderr)
+        return 1
+    print("bench gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

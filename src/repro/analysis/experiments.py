@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import inspect
-from typing import Callable, Dict, Mapping
+from typing import Callable, Mapping
 
 from repro.analysis import fig3, fig4, fig5
 from repro.analysis.report import ExperimentTable

@@ -8,7 +8,7 @@ of depth 32 so that nothing but the effect under study limits throughput.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from typing import Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 

@@ -24,7 +24,6 @@ from repro.axi.transaction import BusRequest
 from repro.axi.types import AXI4_BOUNDARY_BYTES, AXI4_MAX_BURST_LEN
 from repro.errors import ConfigurationError
 from repro.utils.bitutils import is_power_of_two
-from repro.utils.math import ceil_div
 from repro.utils.validation import check_positive
 
 

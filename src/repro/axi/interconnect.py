@@ -23,7 +23,6 @@ from repro.axi.pack import PackMode
 from repro.axi.transaction import BusRequest
 from repro.errors import ConfigurationError, ProtocolError
 from repro.utils.bitutils import is_power_of_two
-from repro.utils.math import ceil_div
 
 
 @dataclass(frozen=True)

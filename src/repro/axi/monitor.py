@@ -45,10 +45,14 @@ class ChannelMonitor:
             )
         self.beats += 1
         self.useful_bytes += useful_bytes
-        self.payload_beats_by_kind[kind] = self.payload_beats_by_kind.get(kind, 0) + 1
-        self.useful_bytes_by_kind[kind] = (
-            self.useful_bytes_by_kind.get(kind, 0) + useful_bytes
-        )
+        beats_by_kind = self.payload_beats_by_kind
+        bytes_by_kind = self.useful_bytes_by_kind
+        if kind in beats_by_kind:  # fast path: recording one beat per cycle
+            beats_by_kind[kind] += 1
+            bytes_by_kind[kind] += useful_bytes
+        else:
+            beats_by_kind[kind] = 1
+            bytes_by_kind[kind] = useful_bytes
 
     # ------------------------------------------------------------ utilization
     def utilization(self, elapsed_cycles: int, include_kinds: Optional[set] = None) -> float:

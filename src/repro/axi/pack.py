@@ -193,3 +193,9 @@ class PackUserField:
     def index_base_addr(self) -> int:
         """Absolute byte address of the index array (indirect bursts only)."""
         return self.index_offset * self.index_bytes
+
+
+#: Shared plain-AXI4 user field.  ``PackUserField`` is frozen, so every
+#: unpacked request can reference this one instance instead of building a
+#: fresh field (narrow BASE lowering creates one request per element).
+PLAIN_AXI4_FIELD = PackUserField()

@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-from repro.axi.signals import ARBeat, AWBeat, BBeat, RBeat, WBeat
+from repro.axi.signals import BBeat, RBeat, WBeat
 from repro.axi.transaction import BusRequest
 from repro.sim.queue import DecoupledQueue
 

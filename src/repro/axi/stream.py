@@ -10,7 +10,7 @@ agnostic; :mod:`repro.axi.builder` lowers them either to plain AXI4 requests
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

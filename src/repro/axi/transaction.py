@@ -22,14 +22,20 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Tuple
 
-from repro.axi.pack import PackMode, PackUserField, PackUserLayout, DEFAULT_LAYOUT
+from repro.axi.pack import (
+    DEFAULT_LAYOUT,
+    PLAIN_AXI4_FIELD,
+    PackMode,
+    PackUserField,
+    PackUserLayout,
+)
 from repro.axi.signals import ARBeat, AWBeat
 from repro.axi.types import (
     BurstType,
     check_burst_len_legal,
-    check_incr_burst_legal,
 )
 from repro.errors import ConfigurationError, ProtocolError
 from repro.utils.math import ceil_div
@@ -81,7 +87,7 @@ class BusRequest:
     elem_bytes: int
     bus_bytes: int
     contiguous: bool = False
-    pack: PackUserField = field(default_factory=PackUserField)
+    pack: PackUserField = field(default=PLAIN_AXI4_FIELD)
     index_base: int = 0
     txn_id: int = field(default_factory=next_txn_id)
     burst: BurstType = BurstType.INCR
@@ -103,41 +109,48 @@ class BusRequest:
         self.validate()
 
     # ------------------------------------------------------------ geometry
-    @property
+    #
+    # The geometry attributes below are pure functions of the constructor
+    # fields; they are evaluated on hot simulation paths (every beat of every
+    # burst), so they are cached on first access.  Requests are treated as
+    # immutable once built — interconnect blocks that reshape bursts create
+    # new ``BusRequest`` objects instead of mutating fields in place.
+
+    @cached_property
     def mode(self) -> PackMode:
         """Pack mode shortcut."""
         return self.pack.mode
 
-    @property
+    @cached_property
     def is_packed(self) -> bool:
         """True for AXI-Pack strided/indirect bursts."""
         return self.pack.mode.is_packed
 
-    @property
+    @cached_property
     def is_narrow(self) -> bool:
         """True for plain AXI4 element-per-beat (narrow) transfers."""
         return not self.is_packed and not self.contiguous
 
-    @property
+    @cached_property
     def elems_per_beat(self) -> int:
         """Number of elements carried by one full data beat."""
         if self.is_narrow:
             return 1
         return self.bus_bytes // self.elem_bytes
 
-    @property
+    @cached_property
     def beat_bytes(self) -> int:
         """Bytes transferred per beat (the AxSIZE granularity)."""
         if self.is_narrow:
             return self.elem_bytes
         return self.bus_bytes
 
-    @property
+    @cached_property
     def payload_bytes(self) -> int:
         """Useful payload carried by the burst (excluding padding/indices)."""
         return self.num_elements * self.elem_bytes
 
-    @property
+    @cached_property
     def num_beats(self) -> int:
         """Number of data beats the burst occupies on the bus."""
         if self.is_packed:

@@ -78,6 +78,9 @@ def _build_parser() -> argparse.ArgumentParser:
                               help="problem size for simulation-based experiments")
     sweep_parser.add_argument("--csv-dir", metavar="DIR",
                               help="also write each table to DIR/<experiment>.csv")
+    sweep_parser.add_argument("--json", action="store_true",
+                              help="print a machine-readable JSON summary "
+                                   "(tables, cache statistics) instead of text")
     _add_orchestration_options(sweep_parser, cache_default=True)
 
     wl_parser = subparsers.add_parser(
@@ -94,6 +97,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     cache_parser.add_argument("--cache-dir", metavar="DIR",
                               help=f"cache location (default: {default_cache_dir()})")
+    cache_parser.add_argument("--json", action="store_true",
+                              help="print a machine-readable JSON summary")
     group = cache_parser.add_mutually_exclusive_group()
     group.add_argument("--clear", action="store_true",
                        help="delete every cache entry")
@@ -143,6 +148,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    import json
     import os
 
     from repro.errors import ConfigurationError
@@ -158,17 +164,42 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         except ConfigurationError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+        if args.csv_dir:
+            os.makedirs(args.csv_dir, exist_ok=True)
         for name, table in tables.items():
-            print(table.render())
-            print()
+            if not args.json:
+                print(table.render())
+                print()
             if args.csv_dir:
-                os.makedirs(args.csv_dir, exist_ok=True)
                 path = os.path.join(args.csv_dir, f"{name}.csv")
                 write_csv(table, path)
-                print(f"wrote {path}")
-        print(f"swept {len(tables)} experiment{'s' if len(tables) != 1 else ''} "
-              f"at scale={args.scale} with jobs={args.jobs}")
-        _report_cache(runner)
+                if not args.json:
+                    print(f"wrote {path}")
+        if args.json:
+            stats = runner.cache.stats
+            summary = {
+                "scale": args.scale,
+                "jobs": args.jobs,
+                "experiments": {
+                    name: {
+                        "caption": table.caption,
+                        "rows": len(table.rows),
+                        "table": table.to_dicts(),
+                    }
+                    for name, table in tables.items()
+                },
+                "cache": {
+                    "hits": stats.hits,
+                    "misses": stats.misses,
+                    "stores": stats.stores,
+                    "dir": getattr(runner.cache, "cache_dir", None),
+                },
+            }
+            print(json.dumps(summary, indent=2, sort_keys=True, default=str))
+        else:
+            print(f"swept {len(tables)} experiment{'s' if len(tables) != 1 else ''} "
+                  f"at scale={args.scale} with jobs={args.jobs}")
+            _report_cache(runner)
     return 0
 
 
@@ -197,7 +228,18 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
+    import json
+
     cache = ResultCache(args.cache_dir)
+    if args.json:
+        summary = {"cache_dir": str(cache.cache_dir)}
+        if args.clear:
+            summary["removed"] = cache.clear()
+        elif args.prune:
+            summary["pruned"] = cache.prune()
+        summary["entries"] = len(cache)
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
     if args.clear:
         print(f"removed {cache.clear()} entries from {cache.cache_dir}")
     elif args.prune:

@@ -29,12 +29,11 @@ from repro.controller.context import AdapterConfig, AdapterContext
 from repro.controller.converter import Converter
 from repro.controller.indirect_read import IndirectReadConverter
 from repro.controller.indirect_write import IndirectWriteConverter
-from repro.controller.pipes import ReadPipe, WritePipe
 from repro.controller.strided_read import StridedReadConverter
 from repro.controller.strided_write import StridedWriteConverter
-from repro.errors import ProtocolError, SimulationError
+from repro.errors import ProtocolError
 from repro.mem.banked import BankedMemory
-from repro.sim.component import Component
+from repro.sim.component import IDLE, Component, WakeHint
 from repro.sim.stats import StatsRegistry
 
 
@@ -84,10 +83,33 @@ class AxiPackAdapter(Component):
             self.indirect_read,
             self.indirect_write,
         ]
+        #: converters that override Converter.step (per-cycle housekeeping)
+        self._stepping: List[Converter] = [
+            converter
+            for converter in self.converters
+            if type(converter).step is not Converter.step
+        ]
+        #: converters that can ever emit a B response (write-capable)
+        self._write_converters: List[Converter] = [
+            converter
+            for converter in self.converters
+            if type(converter).pop_ready_b_beat is not Converter.pop_ready_b_beat
+        ]
         #: write converters in AW-acceptance order still owed W beats
         self._w_routing: Deque[Tuple[Converter, int]] = deque()
         self._issue_rr = 0
         self._emit_rr = 0
+        self._last_tick: Optional[int] = None
+        self._outstanding_words = 0  #: word accesses issued, responses pending
+        #: whether any word port could accept a request at the end of the
+        #: last tick's issue phase — the state every slept-through cycle
+        #: observes (see the rotation replay in :meth:`tick`)
+        self._ports_free_after_issue = True
+        # Prebound hot-path counters (see repro.sim.stats).
+        self._c_word_requests = self.stats.counter("adapter.word_requests")
+        self._c_r_beats = self.stats.counter("adapter.r_beats")
+        self._c_r_useful = self.stats.counter("adapter.r_useful_bytes")
+        self._c_w_beats = self.stats.counter("adapter.w_beats")
 
     # ------------------------------------------------------------ conversion
     def _read_converter_for(self, request: BusRequest) -> Converter:
@@ -105,52 +127,87 @@ class AxiPackAdapter(Component):
         return self.base
 
     # ------------------------------------------------------------------ tick
-    def tick(self, cycle: int) -> None:
+    def tick(self, cycle: int) -> WakeHint:
+        if self._last_tick is not None and cycle - self._last_tick > 1:
+            # The adapter slept since ``_last_tick``.  In the tick-every-cycle
+            # engine those cycles would each have rotated the issue
+            # round-robin pointer — provided at least one word port was free
+            # (``_issue_word_requests`` returns before the rotation when every
+            # request queue is full).  The adapter sleeps only while none of
+            # its subscribed queues see activity, and the adapter ticks
+            # before the memory within a cycle, so every slept-through cycle
+            # observes the request-queue occupancy as it stood at the end of
+            # the last tick's issue phase (a pop that frees a port wakes the
+            # adapter for the *next* cycle and is never visible to the
+            # skipped tick of its own cycle).  Replaying from that captured
+            # state reconstructs the seed behaviour exactly.
+            if self._ports_free_after_issue:
+                skipped = cycle - self._last_tick - 1
+                self._issue_rr = (self._issue_rr + skipped) % len(self.converters)
+        self._last_tick = cycle
         self._route_memory_responses()
-        for converter in self.converters:
+        for converter in self._stepping:
+            # Only the indirect converters do per-cycle housekeeping (index
+            # extraction, planning); the others' step is a no-op.
             converter.step(cycle)
         self._demux_requests()
         self._route_w_data()
         self._issue_word_requests()
         self._emit_r_beat()
         self._emit_b_beat()
+        # Every state transition of the adapter and its converters is driven
+        # by queue events it is subscribed to: bursts arrive on AR/AW/W,
+        # word responses arrive on the memory response queues, back-pressure
+        # clears when R/B or the memory request queues are popped, and any
+        # progress the adapter itself made this cycle touched a queue (its
+        # own pushes/pops), which re-wakes it next cycle automatically.  The
+        # only per-cycle state, the issue rotation, is replayed on wake-up.
+        return IDLE
+
+    def wake_queues(self):
+        return [*self.port.all_queues(), *self.memory.all_queues()]
 
     # -------------------------------------------------------------- responses
     def _route_memory_responses(self) -> None:
+        if not self._outstanding_words:
+            return
         for queue in self.memory.response_queues:
-            if not queue.can_pop():
+            if not queue._storage:
                 continue
             response = queue.pop()
             pipe, state, slot = response.tag
             if response.is_write:
                 pipe.take_ack(state, slot)
             else:
-                pipe.take_response(state, slot, response.data.tobytes())
+                pipe.take_response(state, slot, response.data)
+            self._outstanding_words -= 1
 
     # ---------------------------------------------------------------- demux
     def _demux_requests(self) -> None:
-        if self.port.ar.can_pop():
-            request = self.port.ar.peek()
+        ar = self.port.ar
+        if ar._storage:
+            request = ar._storage[0]
             converter = self._read_converter_for(request)
             if converter.can_accept_read(request):
-                converter.accept_read(self.port.ar.pop())
+                converter.accept_read(ar.pop())
                 self.stats.add("adapter.ar_accepted")
-        if self.port.aw.can_pop():
-            request = self.port.aw.peek()
+        aw = self.port.aw
+        if aw._storage:
+            request = aw._storage[0]
             converter = self._write_converter_for(request)
             if converter.can_accept_write(request):
-                converter.accept_write(self.port.aw.pop())
+                converter.accept_write(aw.pop())
                 self._w_routing.append((converter, request.num_beats))
                 self.stats.add("adapter.aw_accepted")
 
     def _route_w_data(self) -> None:
-        if not self._w_routing or not self.port.w.can_pop():
+        if not self._w_routing or not self.port.w._storage:
             return
         converter, beats_left = self._w_routing[0]
         beat = self.port.w.pop()
         converter.take_w_beat(beat.data)
         self.w_monitor.record_beat(beat.useful_bytes)
-        self.stats.add("adapter.w_beats")
+        self._c_w_beats.value += 1
         if beats_left - 1 == 0:
             self._w_routing.popleft()
         else:
@@ -158,44 +215,79 @@ class AxiPackAdapter(Component):
 
     # ----------------------------------------------------------------- issue
     def _issue_word_requests(self) -> None:
+        queues = self.memory.request_queues
+        converters = self.converters
+        count = len(converters)
+        bus_words = self.config.bus_words
+        for converter in converters:
+            if converter.has_unissued():
+                break
+        else:
+            # Nothing to issue: the seed engine still rotated the round-robin
+            # pointer whenever at least one word port was free.
+            for port in range(bus_words):
+                if queues[port].can_push():
+                    self._issue_rr = (self._issue_rr + 1) % count
+                    self._ports_free_after_issue = True
+                    return
+            self._ports_free_after_issue = False
+            return
         free_ports: Set[int] = {
-            port
-            for port in range(self.config.bus_words)
-            if self.memory.request_queues[port].can_push()
+            port for port in range(bus_words) if queues[port].can_push()
         }
+        self._ports_free_after_issue = bool(free_ports)
         if not free_ports:
             return
-        requests = []
-        order = range(len(self.converters))
-        for offset in order:
-            converter = self.converters[(self._issue_rr + offset) % len(self.converters)]
-            converter.issue(free_ports, requests)
-            if not free_ports:
-                break
-        self._issue_rr = (self._issue_rr + 1) % len(self.converters)
-        for request in requests:
-            self.memory.request_queues[request.port].push(request)
-            self.stats.add("adapter.word_requests")
+        requests: List = []
+        for offset in range(count):
+            converter = converters[(self._issue_rr + offset) % count]
+            # An idle converter has no slots to issue; skip the call.
+            if converter.has_unissued():
+                converter.issue(free_ports, requests)
+                if not free_ports:
+                    break
+        self._issue_rr = (self._issue_rr + 1) % count
+        if requests:
+            self._outstanding_words += len(requests)
+            self._c_word_requests.value += len(requests)
+            for request in requests:
+                queues[request.port].push(request)
+            # This tick's pushes may have filled the last free port; slept
+            # cycles must observe the post-push occupancy.
+            for port in range(bus_words):
+                if queues[port].can_push():
+                    self._ports_free_after_issue = True
+                    break
+            else:
+                self._ports_free_after_issue = False
 
     # ------------------------------------------------------------------ emit
     def _emit_r_beat(self) -> None:
-        if not self.port.r.can_push():
+        r = self.port.r
+        if r._count >= r.depth:
             return
-        for offset in range(len(self.converters)):
-            converter = self.converters[(self._emit_rr + offset) % len(self.converters)]
+        converters = self.converters
+        count = len(converters)
+        for offset in range(count):
+            converter = converters[(self._emit_rr + offset) % count]
+            if not converter.busy():
+                continue
             beat = converter.pop_ready_r_beat()
             if beat is not None:
                 self.port.r.push(beat)
                 self.r_monitor.record_beat(beat.useful_bytes)
-                self.stats.add("adapter.r_beats")
-                self.stats.add("adapter.r_useful_bytes", beat.useful_bytes)
-                self._emit_rr = (self._emit_rr + 1) % len(self.converters)
+                self._c_r_beats.value += 1
+                self._c_r_useful.value += beat.useful_bytes
+                self._emit_rr = (self._emit_rr + 1) % count
                 return
 
     def _emit_b_beat(self) -> None:
-        if not self.port.b.can_push():
+        b = self.port.b
+        if b._count >= b.depth:
             return
-        for converter in self.converters:
+        for converter in self._write_converters:
+            if not converter.busy():
+                continue
             beat = converter.pop_ready_b_beat()
             if beat is not None:
                 self.port.b.push(beat)
@@ -217,3 +309,6 @@ class AxiPackAdapter(Component):
         self.w_monitor.reset()
         self._issue_rr = 0
         self._emit_rr = 0
+        self._last_tick = None
+        self._outstanding_words = 0
+        self._ports_free_after_issue = True

@@ -76,6 +76,9 @@ class BaseAxi4Converter(Converter):
         self._reads.issue(free_ports, out)
         self._writes.issue(free_ports, out)
 
+    def has_unissued(self) -> bool:
+        return bool(self._reads._unissued) or bool(self._writes._unissued)
+
     def pop_ready_r_beat(self) -> Optional[RBeat]:
         return self._reads.pop_ready_r_beat()
 
@@ -84,7 +87,8 @@ class BaseAxi4Converter(Converter):
 
     # ----------------------------------------------------------------- state
     def busy(self) -> bool:
-        return self._reads.busy() or self._writes.busy()
+        # Inlined pipe checks: this runs several times per adapter cycle.
+        return bool(self._reads._beats or self._writes._bursts or self._writes._beats)
 
     def reset(self) -> None:
         self._reads.reset()

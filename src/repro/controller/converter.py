@@ -54,6 +54,15 @@ class Converter(abc.ABC):
     def issue(self, free_ports: Set[int], out: List[WordRequest]) -> None:
         """Issue word accesses this cycle using only the given free ports."""
 
+    def has_unissued(self) -> bool:
+        """True if the converter holds planned word accesses not yet issued.
+
+        The adapter uses this O(1) check to skip the issue scan on cycles
+        where no converter has anything to send to the banks.  The default is
+        conservative (True); converters override it with the exact check.
+        """
+        return True
+
     def pop_ready_r_beat(self) -> Optional[RBeat]:
         """Return a packed R beat if one is ready for the bus."""
         return None

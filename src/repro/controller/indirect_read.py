@@ -133,6 +133,9 @@ class IndirectReadConverter(Converter):
         self._element_pipe.issue(free_ports, out)
         self._index_pipe.issue(free_ports, out)
 
+    def has_unissued(self) -> bool:
+        return bool(self._element_pipe._unissued) or bool(self._index_pipe._unissued)
+
     def pop_ready_r_beat(self) -> Optional[RBeat]:
         beat = self._element_pipe.pop_ready_r_beat()
         if beat is not None:
@@ -148,7 +151,10 @@ class IndirectReadConverter(Converter):
 
     # ----------------------------------------------------------------- state
     def busy(self) -> bool:
-        return bool(self._bursts) or self._index_pipe.busy() or self._element_pipe.busy()
+        # Inlined pipe checks: this runs several times per adapter cycle.
+        return bool(
+            self._bursts or self._index_pipe._beats or self._element_pipe._beats
+        )
 
     def reset(self) -> None:
         self._bursts.clear()

@@ -132,6 +132,9 @@ class IndirectWriteConverter(Converter):
         self._write_pipe.issue(free_ports, out)
         self._index_pipe.issue(free_ports, out)
 
+    def has_unissued(self) -> bool:
+        return bool(self._write_pipe._unissued) or bool(self._index_pipe._unissued)
+
     def pop_ready_b_beat(self) -> Optional[BBeat]:
         beat = self._write_pipe.pop_ready_b_beat()
         if beat is not None:
@@ -145,7 +148,13 @@ class IndirectWriteConverter(Converter):
 
     # ----------------------------------------------------------------- state
     def busy(self) -> bool:
-        return bool(self._bursts) or self._index_pipe.busy() or self._write_pipe.busy()
+        # Inlined pipe checks: this runs several times per adapter cycle.
+        return bool(
+            self._bursts
+            or self._index_pipe._beats
+            or self._write_pipe._bursts
+            or self._write_pipe._beats
+        )
 
     def reset(self) -> None:
         self._bursts.clear()

@@ -43,15 +43,18 @@ class ReadPipe:
         self.stats = stats
         self.regulator = RequestRegulator(config.bus_words, config.queue_depth)
         self._beats: Deque[Tuple[ReadBeatState, BusRequest]] = deque()
-        self._issue_cursor = 0  # index into _beats of the first beat with unissued slots
-        self._next_slot = 0  # next slot to issue within that beat
+        #: beats with unissued slots, oldest first: [state, next_slot_index]
+        self._unissued: Deque[List] = deque()
         self._accepted_bursts = 0
 
     # -------------------------------------------------------------- planning
     def add_plans(self, request: BusRequest, plans: Iterable[BeatPlan]) -> None:
         """Queue pre-computed beat plans belonging to ``request``."""
         for plan in plans:
-            self._beats.append((ReadBeatState.from_plan(plan), request))
+            state = ReadBeatState.from_plan(plan)
+            self._beats.append((state, request))
+            if plan.slots:
+                self._unissued.append([state, 0])
 
     def accept(self, request: BusRequest, plans: Iterable[BeatPlan]) -> None:
         """Accept a burst whose beats are fully described by ``plans``."""
@@ -67,32 +70,53 @@ class ReadPipe:
         first slot whose port is unavailable or regulator-blocked, preserving
         the in-order request discipline of the RTL request generator.
         """
-        while self._issue_cursor < len(self._beats):
-            state, _request = self._beats[self._issue_cursor]
+        unissued = self._unissued
+        regulator = self.regulator
+        in_flight = regulator._in_flight
+        limit = regulator.limit
+        while unissued:
+            entry = unissued[0]
+            state = entry[0]
             slots = state.plan.slots
-            while self._next_slot < len(slots):
-                slot = slots[self._next_slot]
-                if slot.port not in free_ports or not self.regulator.can_issue(slot.port):
+            next_slot = entry[1]
+            while next_slot < len(slots):
+                slot = slots[next_slot]
+                port = slot.port
+                if port not in free_ports or in_flight[port] >= limit:
+                    entry[1] = next_slot
                     return
-                free_ports.discard(slot.port)
-                self.regulator.note_issue(slot.port)
+                free_ports.discard(port)
+                in_flight[port] += 1
                 out.append(
                     WordRequest(
-                        port=slot.port,
+                        port=port,
                         word_addr=slot.word_addr,
                         is_write=False,
                         tag=(self, state, slot),
                     )
                 )
-                self._next_slot += 1
-            self._issue_cursor += 1
-            self._next_slot = 0
+                next_slot += 1
+            unissued.popleft()
+
+    def has_unissued(self) -> bool:
+        """True if any planned word read has not been issued yet (O(1))."""
+        return bool(self._unissued)
 
     # ------------------------------------------------------------- responses
     def take_response(self, state: ReadBeatState, slot: WordSlot, data: bytes) -> None:
         """Deliver one returned word to its beat."""
-        state.fill(slot, bytes(data))
-        self.regulator.note_retire(slot.port)
+        # Inlined ReadBeatState.fill + RequestRegulator.note_retire: this runs
+        # once per word access, the hottest path in the controller model.
+        shift = slot.byte_shift
+        offset = slot.offset
+        nbytes = slot.nbytes
+        state.data[offset : offset + nbytes] = data[shift : shift + nbytes]
+        state.remaining -= 1
+        in_flight = self.regulator._in_flight
+        port = slot.port
+        if in_flight[port] <= 0:
+            raise SimulationError(f"regulator underflow on port {port}")
+        in_flight[port] -= 1
 
     # --------------------------------------------------------------- packing
     def pop_ready_beat(self) -> Optional[Tuple[BeatPlan, bytes, BusRequest]]:
@@ -100,12 +124,10 @@ class ReadPipe:
         if not self._beats:
             return None
         state, request = self._beats[0]
-        if not state.complete:
+        if state.remaining:
             return None
         self._beats.popleft()
-        if self._issue_cursor > 0:
-            self._issue_cursor -= 1
-        elif state.plan.slots:
+        if self._unissued and self._unissued[0][0] is state:
             # A beat with word accesses cannot complete before they were issued.
             raise SimulationError(
                 f"{self.name}: beat completed before all slots were issued"
@@ -137,8 +159,7 @@ class ReadPipe:
     def reset(self) -> None:
         """Drop all state (component reset)."""
         self._beats.clear()
-        self._issue_cursor = 0
-        self._next_slot = 0
+        self._unissued.clear()
         self.regulator.reset()
 
 
@@ -170,7 +191,8 @@ class WritePipe:
         self.regulator = RequestRegulator(config.bus_words, config.queue_depth)
         self._bursts: Deque[_ActiveWriteBurst] = deque()
         self._beats: Deque[Tuple[WriteBeatState, _ActiveWriteBurst]] = deque()
-        self._issue_index = 0  # index of first beat with unissued slots
+        #: beat states with unissued slots, oldest first
+        self._unissued: Deque[WriteBeatState] = deque()
 
     # -------------------------------------------------------------- planning
     def accept(
@@ -211,22 +233,29 @@ class WritePipe:
         """Queue one fully planned write beat with its payload."""
         state = WriteBeatState(plan=plan, payload=bytes(payload))
         self._beats.append((state, burst))
+        if plan.slots:
+            self._unissued.append(state)
 
     # --------------------------------------------------------------- issuing
     def issue(self, free_ports: Set[int], out: List[WordRequest]) -> None:
         """Issue word writes in order, using only ``free_ports``."""
-        while self._issue_index < len(self._beats):
-            state, _burst = self._beats[self._issue_index]
+        unissued = self._unissued
+        regulator = self.regulator
+        in_flight = regulator._in_flight
+        limit = regulator.limit
+        while unissued:
+            state = unissued[0]
             slots = state.plan.slots
             while state.next_slot < len(slots):
                 slot = slots[state.next_slot]
-                if slot.port not in free_ports or not self.regulator.can_issue(slot.port):
+                port = slot.port
+                if port not in free_ports or in_flight[port] >= limit:
                     return
-                free_ports.discard(slot.port)
-                self.regulator.note_issue(slot.port)
+                free_ports.discard(port)
+                in_flight[port] += 1
                 out.append(
                     WordRequest(
-                        port=slot.port,
+                        port=port,
                         word_addr=slot.word_addr,
                         is_write=True,
                         data=self._word_write_data(state, slot),
@@ -235,7 +264,11 @@ class WritePipe:
                 )
                 state.next_slot += 1
                 state.acks_pending += 1
-            self._issue_index += 1
+            unissued.popleft()
+
+    def has_unissued(self) -> bool:
+        """True if any planned word write has not been issued yet (O(1))."""
+        return bool(self._unissued)
 
     def _word_write_data(self, state: WriteBeatState, slot: WordSlot):
         """Full word of write data for one slot (partial words are rejected)."""
@@ -250,7 +283,11 @@ class WritePipe:
     def take_ack(self, state: WriteBeatState, slot: WordSlot) -> None:
         """Deliver one word-write acknowledgement."""
         state.acks_pending -= 1
-        self.regulator.note_retire(slot.port)
+        in_flight = self.regulator._in_flight
+        port = slot.port
+        if in_flight[port] <= 0:
+            raise SimulationError(f"regulator underflow on port {port}")
+        in_flight[port] -= 1
 
     # -------------------------------------------------------------- emission
     def pop_ready_b_beat(self) -> Optional[BBeat]:
@@ -270,8 +307,6 @@ class WritePipe:
             if not state.complete:
                 break
             self._beats.popleft()
-            if self._issue_index > 0:
-                self._issue_index -= 1
             burst.beats_completed += 1
 
     # ------------------------------------------------------------------ state
@@ -283,5 +318,5 @@ class WritePipe:
         """Drop all state (component reset)."""
         self._bursts.clear()
         self._beats.clear()
-        self._issue_index = 0
+        self._unissued.clear()
         self.regulator.reset()

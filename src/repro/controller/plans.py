@@ -4,15 +4,18 @@ A *beat plan* records, for one beat of one burst, which word accesses must be
 performed and where each word's bytes sit inside the (packed) beat payload.
 For reads this is the metadata the beat packer consumes; for writes it drives
 the beat unpacker.
+
+These records are created once per beat (plans, states) or once per word
+access (slots) on the simulator's hottest paths, so they are plain
+``__slots__`` classes rather than dataclasses — constructor cost matters
+more than generated niceties here.  Treat them as immutable once built.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List
 
 
-@dataclass(frozen=True)
 class WordSlot:
     """One word access belonging to a beat.
 
@@ -32,37 +35,73 @@ class WordSlot:
         only for unaligned contiguous edges).
     """
 
-    port: int
-    word_addr: int
-    offset: int
-    nbytes: int
-    byte_shift: int = 0
+    __slots__ = ("port", "word_addr", "offset", "nbytes", "byte_shift")
+
+    def __init__(
+        self,
+        port: int,
+        word_addr: int,
+        offset: int,
+        nbytes: int,
+        byte_shift: int = 0,
+    ) -> None:
+        self.port = port
+        self.word_addr = word_addr
+        self.offset = offset
+        self.nbytes = nbytes
+        self.byte_shift = byte_shift
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WordSlot(port={self.port}, word_addr={self.word_addr:#x}, "
+            f"offset={self.offset}, nbytes={self.nbytes}, "
+            f"byte_shift={self.byte_shift})"
+        )
 
 
-@dataclass
 class BeatPlan:
     """All word accesses of one beat plus packing bookkeeping."""
 
-    burst_seq: int
-    beat_index: int
-    txn_id: int
-    useful_bytes: int
-    last: bool
-    slots: List[WordSlot] = field(default_factory=list)
+    __slots__ = ("burst_seq", "beat_index", "txn_id", "useful_bytes", "last", "slots")
+
+    def __init__(
+        self,
+        burst_seq: int,
+        beat_index: int,
+        txn_id: int,
+        useful_bytes: int,
+        last: bool,
+        slots: List[WordSlot] = None,
+    ) -> None:
+        self.burst_seq = burst_seq
+        self.beat_index = beat_index
+        self.txn_id = txn_id
+        self.useful_bytes = useful_bytes
+        self.last = last
+        self.slots = slots if slots is not None else []
 
     @property
     def num_words(self) -> int:
         """Number of word accesses the beat requires."""
         return len(self.slots)
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BeatPlan(burst_seq={self.burst_seq}, beat_index={self.beat_index}, "
+            f"txn_id={self.txn_id}, useful_bytes={self.useful_bytes}, "
+            f"last={self.last}, slots={self.slots!r})"
+        )
 
-@dataclass
+
 class ReadBeatState:
     """In-flight tracking of a read beat: collected words and completion."""
 
-    plan: BeatPlan
-    remaining: int
-    data: bytearray
+    __slots__ = ("plan", "remaining", "data")
+
+    def __init__(self, plan: BeatPlan, remaining: int, data: bytearray) -> None:
+        self.plan = plan
+        self.remaining = remaining
+        self.data = data
 
     @classmethod
     def from_plan(cls, plan: BeatPlan) -> "ReadBeatState":
@@ -81,14 +120,22 @@ class ReadBeatState:
         return self.remaining == 0
 
 
-@dataclass
 class WriteBeatState:
     """In-flight tracking of a write beat: issued words and acknowledgements."""
 
-    plan: BeatPlan
-    payload: bytes
-    next_slot: int = 0
-    acks_pending: int = 0
+    __slots__ = ("plan", "payload", "next_slot", "acks_pending")
+
+    def __init__(
+        self,
+        plan: BeatPlan,
+        payload: bytes,
+        next_slot: int = 0,
+        acks_pending: int = 0,
+    ) -> None:
+        self.plan = plan
+        self.payload = payload
+        self.next_slot = next_slot
+        self.acks_pending = acks_pending
 
     @property
     def all_issued(self) -> bool:
@@ -98,7 +145,7 @@ class WriteBeatState:
     @property
     def complete(self) -> bool:
         """True once every word write has been issued and acknowledged."""
-        return self.all_issued and self.acks_pending == 0
+        return self.next_slot >= len(self.plan.slots) and self.acks_pending == 0
 
     def slot_data(self, slot: WordSlot) -> bytes:
         """Extract the bytes of the payload that belong to one word slot."""

@@ -51,11 +51,14 @@ class StridedReadConverter(Converter):
     def issue(self, free_ports: Set[int], out: List[WordRequest]) -> None:
         self._pipe.issue(free_ports, out)
 
+    def has_unissued(self) -> bool:
+        return bool(self._pipe._unissued)
+
     def pop_ready_r_beat(self) -> Optional[RBeat]:
         return self._pipe.pop_ready_r_beat()
 
     def busy(self) -> bool:
-        return self._pipe.busy()
+        return bool(self._pipe._beats)
 
     def reset(self) -> None:
         self._pipe.reset()

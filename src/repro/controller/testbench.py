@@ -14,8 +14,6 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Sequence
 
-import numpy as np
-
 from repro.axi.monitor import ChannelMonitor
 from repro.axi.port import AxiPort, AxiPortConfig
 from repro.axi.signals import WBeat
@@ -25,7 +23,7 @@ from repro.controller.context import AdapterConfig
 from repro.errors import SimulationError
 from repro.mem.banked import BankedMemory, BankedMemoryConfig
 from repro.mem.storage import MemoryStorage
-from repro.sim.component import Component
+from repro.sim.component import IDLE, Component, WakeHint
 from repro.sim.engine import Engine
 from repro.sim.stats import StatsRegistry
 
@@ -77,11 +75,17 @@ class IdealRequestor(Component):
         self.r_monitor = ChannelMonitor("R", port.bus_bytes)
 
     # ------------------------------------------------------------------ tick
-    def tick(self, cycle: int) -> None:
+    def tick(self, cycle: int) -> WakeHint:
         self._consume_r(cycle)
         self._consume_b(cycle)
         self._send_w()
         self._issue(cycle)
+        # Everything the requestor does is gated on the port queues (its own
+        # pushes included), so queue subscriptions cover every wake-up.
+        return IDLE
+
+    def wake_queues(self):
+        return self.port.all_queues()
 
     def _issue(self, cycle: int) -> None:
         if not self.pending:
@@ -204,9 +208,15 @@ class ControllerTestbench:
         write_payloads: Optional[Dict[int, bytes]] = None,
         max_outstanding: int = 8,
         max_cycles: int = 5_000_000,
+        event_driven: Optional[bool] = None,
     ) -> TestbenchResult:
-        """Drive the given requests to completion and return measurements."""
-        engine = Engine()
+        """Drive the given requests to completion and return measurements.
+
+        ``event_driven`` selects the engine mode (None = the
+        ``REPRO_SIM_ENGINE`` environment default); both modes produce
+        identical measurements.
+        """
+        engine = Engine(event_driven=event_driven)
         requestor = IdealRequestor(
             "requestor", self.port, requests, write_payloads, max_outstanding
         )

@@ -14,12 +14,10 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, List, Optional, Tuple
 
-import numpy as np
-
 from repro.errors import ConfigurationError
 from repro.mem.storage import MemoryStorage
 from repro.mem.words import BankAddressMap, WordRequest, WordResponse
-from repro.sim.component import Component
+from repro.sim.component import IDLE, Component, WakeHint
 from repro.sim.queue import DecoupledQueue
 from repro.sim.stats import StatsRegistry
 from repro.utils.validation import check_positive
@@ -87,6 +85,11 @@ class BankedMemory(Component):
             deque() for _ in range(config.num_ports)
         ]
         self._bank_last_grant: List[int] = [config.num_ports - 1] * config.num_banks
+        # Prebound hot-path counters (see repro.sim.stats).
+        self._c_conflicts = self.stats.counter("mem.bank_conflicts")
+        self._c_accesses = self.stats.counter("mem.bank_accesses")
+        self._c_writes = self.stats.counter("mem.word_writes")
+        self._c_reads = self.stats.counter("mem.word_reads")
 
     # ----------------------------------------------------------------- wiring
     def all_queues(self) -> List[DecoupledQueue]:
@@ -94,47 +97,84 @@ class BankedMemory(Component):
         return [*self.request_queues, *self.response_queues]
 
     # ------------------------------------------------------------------ tick
-    def tick(self, cycle: int) -> None:
+    def tick(self, cycle: int) -> WakeHint:
         self._deliver_responses(cycle)
         self._accept_requests(cycle)
+        # New requests and response-queue back-pressure wake us through the
+        # queue subscriptions; the only time-gated event is an in-flight
+        # access maturing after the bank latency.
+        wake = IDLE
+        for in_flight in self._in_flight:
+            if in_flight:
+                ready = in_flight[0][0]
+                if ready > cycle and ready < wake:
+                    wake = ready
+        return wake
+
+    def wake_queues(self):
+        return self.all_queues()
 
     def _deliver_responses(self, cycle: int) -> None:
-        for port in range(self.config.num_ports):
-            in_flight = self._in_flight[port]
+        for port, in_flight in enumerate(self._in_flight):
+            if not in_flight:
+                continue
             queue = self.response_queues[port]
-            while in_flight and in_flight[0][0] <= cycle and queue.can_push():
+            while in_flight and in_flight[0][0] <= cycle and queue._count < queue.depth:
                 queue.push(in_flight.popleft()[1])
 
     def _accept_requests(self, cycle: int) -> None:
         config = self.config
         word_bytes = config.word_bytes
-        # Group head-of-line requests by target bank.
-        claims: dict = {}
-        for port, queue in enumerate(self.request_queues):
-            if not queue.can_pop():
+        num_banks = config.num_banks
+        latency = config.latency
+        in_flight_limit = 4 * config.response_queue_depth
+        request_queues = self.request_queues
+        all_in_flight = self._in_flight
+        # Group head-of-line requests by target bank.  A single claimant is
+        # stored as a bare port index (the common case); conflicts upgrade
+        # the entry to a list.
+        claims: Optional[dict] = None
+        for port, queue in enumerate(request_queues):
+            storage = queue._storage
+            if not storage:
                 continue
             # Hold issue if the response path is saturated to bound in-flight state.
-            if len(self._in_flight[port]) >= 4 * config.response_queue_depth:
+            if len(all_in_flight[port]) >= in_flight_limit:
                 continue
-            request = queue.peek()
-            bank = request.word_addr % config.num_banks
-            claims.setdefault(bank, []).append(port)
+            bank = storage[0].word_addr % num_banks
+            if claims is None:
+                claims = {bank: port}
+                continue
+            prev = claims.get(bank)
+            if prev is None:
+                claims[bank] = port
+            elif prev.__class__ is int:
+                claims[bank] = [prev, port]
+            else:
+                prev.append(port)
+        if claims is None:
+            return
+        conflict_free = config.conflict_free
+        last_grant = self._bank_last_grant
         for bank, ports in claims.items():
-            if config.conflict_free:
+            if ports.__class__ is int:
+                granted_ports = (ports,)
+                if not conflict_free:
+                    last_grant[bank] = ports
+            elif conflict_free:
                 granted_ports = ports
             else:
-                granted_ports = [self._round_robin_pick(bank, ports)]
-                if len(ports) > 1:
-                    self.stats.add("mem.bank_conflicts", len(ports) - 1)
+                granted_ports = (self._round_robin_pick(bank, ports),)
+                self._c_conflicts.value += len(ports) - 1
             for port in granted_ports:
-                request = self.request_queues[port].pop()
+                request = request_queues[port].pop()
                 response = self._perform_access(request, word_bytes)
-                self._in_flight[port].append((cycle + config.latency, response))
-                self.stats.add("mem.bank_accesses")
+                all_in_flight[port].append((cycle + latency, response))
+                self._c_accesses.value += 1
                 if request.is_write:
-                    self.stats.add("mem.word_writes")
+                    self._c_writes.value += 1
                 else:
-                    self.stats.add("mem.word_reads")
+                    self._c_reads.value += 1
 
     def _round_robin_pick(self, bank: int, ports: List[int]) -> int:
         last = self._bank_last_grant[bank]
@@ -150,7 +190,7 @@ class BankedMemory(Component):
                 raise ConfigurationError("write word request without data")
             self.storage.write(byte_addr, request.data)
             return WordResponse(port=request.port, tag=request.tag, is_write=True)
-        data = self.storage.read(byte_addr, word_bytes)
+        data = self.storage.read_bytes(byte_addr, word_bytes)
         return WordResponse(port=request.port, tag=request.tag, data=data)
 
     # ------------------------------------------------------------------ state

@@ -16,12 +16,12 @@ from typing import Deque, Optional
 import numpy as np
 
 from repro.axi.port import AxiPort
-from repro.axi.signals import BBeat, RBeat, WBeat
+from repro.axi.signals import BBeat, RBeat
 from repro.axi.transaction import BusRequest
 from repro.errors import ProtocolError
 from repro.mem.functional import read_burst_payload, write_burst_payload
 from repro.mem.storage import MemoryStorage
-from repro.sim.component import Component
+from repro.sim.component import IDLE, Component, WakeHint
 from repro.sim.stats import StatsRegistry
 
 
@@ -48,9 +48,19 @@ class IdealMemoryEndpoint(Component):
         self._write: Optional[list] = None
 
     # ------------------------------------------------------------------ tick
-    def tick(self, cycle: int) -> None:
+    def tick(self, cycle: int) -> WakeHint:
         self._serve_reads(cycle)
         self._serve_writes(cycle)
+        # Every transition except a read waiting out its latency is gated on
+        # port-queue activity (AR/AW/W arrivals, R/B back-pressure), which
+        # re-wakes us via the subscriptions; streaming reads self-wake through
+        # their own R pushes.
+        if self._read is not None and self._read[3] > cycle:
+            return self._read[3]
+        return IDLE
+
+    def wake_queues(self):
+        return self.port.all_queues()
 
     # ------------------------------------------------------------------ reads
     def _serve_reads(self, cycle: int) -> None:

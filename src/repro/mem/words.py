@@ -11,7 +11,7 @@ strided accesses evenly).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 
@@ -67,9 +67,11 @@ class BankAddressMap:
         return np.asarray(word_addrs, dtype=np.int64) % self.num_banks
 
 
-@dataclass
 class WordRequest:
     """One word-wide access from a controller port to the banked memory.
+
+    A plain ``__slots__`` record: word accesses are created at bus-width rate
+    on the simulator's hottest path, so constructor cost matters.
 
     Attributes
     ----------
@@ -80,24 +82,55 @@ class WordRequest:
     is_write:
         True for a write access.
     data:
-        Word payload for writes (``word_bytes`` bytes), None for reads.
+        Word payload for writes (``word_bytes`` bytes as ``bytes`` or a
+        numpy byte array), None for reads.
     tag:
         Opaque routing tag used by the issuing converter to match responses
         (converter id, beat number, slot within the beat, ...).
     """
 
-    port: int
-    word_addr: int
-    is_write: bool
-    data: Optional[np.ndarray] = None
-    tag: object = None
+    __slots__ = ("port", "word_addr", "is_write", "data", "tag")
+
+    def __init__(
+        self,
+        port: int,
+        word_addr: int,
+        is_write: bool,
+        data: object = None,
+        tag: object = None,
+    ) -> None:
+        self.port = port
+        self.word_addr = word_addr
+        self.is_write = is_write
+        self.data = data
+        self.tag = tag
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "write" if self.is_write else "read"
+        return f"WordRequest({kind} port={self.port} word={self.word_addr:#x})"
 
 
-@dataclass
 class WordResponse:
-    """Response to a :class:`WordRequest` after the bank access completes."""
+    """Response to a :class:`WordRequest` after the bank access completes.
 
-    port: int
-    tag: object
-    data: Optional[np.ndarray] = None
-    is_write: bool = False
+    ``data`` carries the word payload for reads (``bytes``), None for write
+    acknowledgements.
+    """
+
+    __slots__ = ("port", "tag", "data", "is_write")
+
+    def __init__(
+        self,
+        port: int,
+        tag: object,
+        data: object = None,
+        is_write: bool = False,
+    ) -> None:
+        self.port = port
+        self.tag = tag
+        self.data = data
+        self.is_write = is_write
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "write" if self.is_write else "read"
+        return f"WordResponse({kind} port={self.port})"

@@ -20,7 +20,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence
 
-from repro.orchestrate.cache import MISS, ResultCache
+from repro.orchestrate.cache import MISS
 
 #: Progress callback signature: called once per finished spec.
 ProgressCallback = Callable[["RunProgress"], None]
@@ -55,7 +55,9 @@ class ParallelRunner:
         Worker process count.  ``1`` (the default) runs serially in-process;
         ``None`` or ``0`` means one worker per CPU.
     cache:
-        A :class:`~repro.orchestrate.cache.ResultCache`; ``None`` disables
+        A :class:`~repro.orchestrate.cache.ResultCache`,
+        :class:`~repro.orchestrate.cache.MemoryCache`, or any object with
+        the same ``get``/``put``/``stats`` surface; ``None`` disables
         caching.  Hits skip execution entirely, misses are stored after
         execution.
     progress:
@@ -64,7 +66,7 @@ class ParallelRunner:
     """
 
     def __init__(self, jobs: Optional[int] = 1,
-                 cache: Optional[ResultCache] = None,
+                 cache: Optional[Any] = None,
                  progress: Optional[ProgressCallback] = None) -> None:
         if jobs is None or jobs <= 0:
             jobs = os.cpu_count() or 1

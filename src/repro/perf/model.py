@@ -22,7 +22,7 @@ from typing import Iterable
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.utils.math import ceil_div, mean
+from repro.utils.math import mean
 
 
 def ideal_narrow_utilization(elem_bytes: int, bus_bytes: int) -> float:

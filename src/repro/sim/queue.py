@@ -2,16 +2,23 @@
 
 The queue models a hardware FIFO with registered outputs: items pushed during
 cycle *N* can be popped no earlier than cycle *N + 1*.  The engine calls
-:meth:`DecoupledQueue.commit` at the end of every cycle to move freshly pushed
-items into the visible storage.  Because visibility only changes at commit
-time, the simulation result does not depend on the order in which components
-are ticked within a cycle.
+:meth:`DecoupledQueue.commit` at the end of every cycle in which the queue
+was pushed to, moving freshly pushed items into the visible storage.  Because
+visibility only changes at commit time, the simulation result does not depend
+on the order in which components are ticked within a cycle.
+
+Queues registered with an :class:`~repro.sim.engine.Engine` additionally act
+as the engine's *dirty/wake lists*: every push or pop marks the queue touched
+(so only touched queues are committed at the end of the cycle), bumps the
+engine's O(1) activity counter (used for deadlock detection), and wakes every
+component subscribed to the queue for the next cycle.  Unregistered queues
+behave exactly like plain FIFOs.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Generic, Iterator, List, Optional, TypeVar
+from typing import Any, Deque, Generic, Iterator, List, Optional, TypeVar
 
 from repro.errors import SimulationError
 from repro.utils.validation import check_positive
@@ -38,21 +45,34 @@ class DecoupledQueue(Generic[ItemT]):
         self.depth = check_positive("queue depth", depth)
         self._storage: Deque[ItemT] = deque()
         self._incoming: List[ItemT] = []
+        self._count = 0  #: committed + pending items, tracked incrementally
         self.total_pushed = 0
         self.total_popped = 0
         self.max_occupancy = 0
+        # Engine integration (set by Engine.add_queue / add_component).
+        self._engine: Any = None  #: owning engine, or None for standalone use
+        self._touched = False  #: already on the engine's dirty list this cycle
+        self._waiters: List = []  #: components woken by activity on this queue
+        self._waiters_engine: Any = None  #: engine the waiter list belongs to
 
     # ------------------------------------------------------------------ push
     def can_push(self, count: int = 1) -> bool:
         """Return True if ``count`` more items fit this cycle."""
-        return len(self._storage) + len(self._incoming) + count <= self.depth
+        return self._count + count <= self.depth
 
     def push(self, item: ItemT) -> None:
         """Push one item; raises if the queue is full (callers must check)."""
-        if not self.can_push():
+        if self._count >= self.depth:
             raise SimulationError(f"push to full queue {self.name!r}")
         self._incoming.append(item)
+        self._count += 1
         self.total_pushed += 1
+        engine = self._engine
+        if engine is not None:
+            engine._activity += 1
+            if not self._touched:
+                self._touched = True
+                engine._touched_queues.append(self)
 
     # ------------------------------------------------------------------- pop
     def can_pop(self) -> bool:
@@ -70,6 +90,13 @@ class DecoupledQueue(Generic[ItemT]):
         if not self._storage:
             raise SimulationError(f"pop from empty queue {self.name!r}")
         self.total_popped += 1
+        self._count -= 1
+        engine = self._engine
+        if engine is not None:
+            engine._activity += 1
+            if not self._touched:
+                self._touched = True
+                engine._touched_queues.append(self)
         return self._storage.popleft()
 
     # ------------------------------------------------------------ bookkeeping
@@ -85,6 +112,13 @@ class DecoupledQueue(Generic[ItemT]):
         """Drop all contents (used by component reset)."""
         self._storage.clear()
         self._incoming.clear()
+        self._count = 0
+        engine = self._engine
+        if engine is not None and not self._touched:
+            # Wake subscribers (freed space / vanished items) but do not count
+            # the clear as forward progress for deadlock detection.
+            self._touched = True
+            engine._touched_queues.append(self)
 
     @property
     def occupancy(self) -> int:
@@ -98,10 +132,10 @@ class DecoupledQueue(Generic[ItemT]):
 
     def is_empty(self) -> bool:
         """Return True if the queue holds nothing, committed or pending."""
-        return not self._storage and not self._incoming
+        return self._count == 0
 
     def __len__(self) -> int:
-        return len(self._storage) + len(self._incoming)
+        return self._count
 
     def __iter__(self) -> Iterator[ItemT]:
         return iter(list(self._storage) + list(self._incoming))
@@ -144,9 +178,20 @@ class LatencyPipe(Generic[ItemT]):
             raise SimulationError(f"pop from latency pipe {self.name!r} too early")
         return self._in_flight.popleft()[1]
 
-    def advance(self) -> None:
-        """Advance the pipe's notion of time by one cycle."""
-        self._cycle += 1
+    def advance(self, cycles: int = 1) -> None:
+        """Advance the pipe's notion of time by ``cycles`` clock cycles.
+
+        The engine advances pipes by more than one cycle at a time when it
+        fast-forwards across idle windows; maturity only depends on the
+        pipe's absolute cycle counter, so a bulk advance is exact.
+        """
+        self._cycle += cycles
+
+    def next_ready_cycle(self) -> Optional[int]:
+        """Cycle at which the oldest in-flight item matures (None if empty)."""
+        if not self._in_flight:
+            return None
+        return self._in_flight[0][0]
 
     def is_empty(self) -> bool:
         """Return True if nothing is in flight."""

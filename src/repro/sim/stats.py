@@ -1,17 +1,26 @@
-"""Named statistic counters shared by simulator components."""
+"""Named statistic counters shared by simulator components.
+
+Hot components should *prebind* their counters once at construction time
+(``self._c_reads = stats.counter("mem.word_reads")``) and bump
+``counter.value`` directly in their per-cycle code, instead of paying a
+registry dict lookup per event through :meth:`StatsRegistry.add`.  Both
+paths accumulate into the same :class:`Counter` objects, so
+:meth:`StatsRegistry.as_dict` snapshots are unaffected.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, Mapping
 
 
-@dataclass
 class Counter:
     """A single named statistic with integer and float accumulation."""
 
-    name: str
-    value: float = 0.0
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: float = 0.0) -> None:
+        self.name = name
+        self.value = value
 
     def add(self, amount: float = 1.0) -> None:
         """Accumulate ``amount`` into the counter."""
@@ -20,6 +29,14 @@ class Counter:
     def reset(self) -> None:
         """Zero the counter."""
         self.value = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter(name={self.name!r}, value={self.value!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Counter):
+            return NotImplemented
+        return self.name == other.name and self.value == other.value
 
 
 class StatsRegistry:
@@ -34,13 +51,14 @@ class StatsRegistry:
 
     def counter(self, name: str) -> Counter:
         """Return the counter called ``name``, creating it if needed."""
-        if name not in self._counters:
-            self._counters[name] = Counter(name)
-        return self._counters[name]
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
 
     def add(self, name: str, amount: float = 1.0) -> None:
         """Convenience: accumulate into (and lazily create) a counter."""
-        self.counter(name).add(amount)
+        self.counter(name).value += amount
 
     def get(self, name: str, default: float = 0.0) -> float:
         """Return the value of ``name``, or ``default`` if it never existed."""

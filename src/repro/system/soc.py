@@ -50,18 +50,32 @@ class Soc:
         return self.config.kind
 
     def run_program(
-        self, program: Program, max_cycles: int = 50_000_000
+        self,
+        program: Program,
+        max_cycles: int = 50_000_000,
+        event_driven: Optional[bool] = None,
     ) -> Tuple[int, EngineResult]:
-        """Execute a vector program to completion; return (cycles, result)."""
+        """Execute a vector program to completion; return (cycles, result).
+
+        ``event_driven`` selects the engine mode (None = the
+        ``REPRO_SIM_ENGINE`` environment default).  The event-driven mode
+        skips globally idle windows and produces identical cycle counts and
+        statistics; ``event_driven=False`` forces the seed tick-every-cycle
+        behaviour for A/B comparisons (see ``benchmarks/bench_headline.py``).
+        """
         if program.mode is not self.config.lowering:
             raise ConfigurationError(
                 f"program was built for the {program.mode.value.upper()} system "
                 f"but this SoC is {self.kind.value.upper()}"
             )
-        engine = Engine()
+        engine = Engine(event_driven=event_driven)
         vector = VectorEngine(
             "ara", program, self.port, self.config.vector_config(), self.config.lowering
         )
+        # Registration wires the wake machinery: each component subscribes to
+        # the queues named by its ``wake_queues`` (the AXI port channels, the
+        # banked memory's request/response queues), and registered queues act
+        # as the engine's dirty/wake lists.
         engine.add_component(vector)
         engine.add_component(self.endpoint)
         if self.memory is not None:

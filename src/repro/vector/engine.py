@@ -33,7 +33,8 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from heapq import heappop, heappush
 from typing import Deque, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -45,7 +46,7 @@ from repro.axi.signals import WBeat
 from repro.axi.stream import ContiguousStream, IndirectStream, StridedStream
 from repro.axi.transaction import BusRequest
 from repro.errors import SimulationError, WorkloadError
-from repro.sim.component import Component
+from repro.sim.component import IDLE, Component, WakeHint
 from repro.vector.builder import Program
 from repro.vector.config import LoweringMode, VectorEngineConfig
 from repro.vector.ops import ScalarWork, VectorCompute, VectorLoad, VectorOp, VectorStore
@@ -149,7 +150,8 @@ class VectorEngine(Component):
         self.w_monitor = ChannelMonitor("W", port.bus_bytes)
 
         self._next_op = 0
-        self._cooldown = 0
+        self._stall_until = 0  #: first cycle at which dispatch may run again
+        self._timers: List[float] = []  #: heap of future wake deadlines
         self._done_at: Dict[int, int] = {}
         self._latest_completion = 0
         self._active_loads: List[_MemOpState] = []
@@ -163,18 +165,37 @@ class VectorEngine(Component):
         self._cycle = 0
 
     # ------------------------------------------------------------------ tick
-    def tick(self, cycle: int) -> None:
+    def tick(self, cycle: int) -> WakeHint:
         self._cycle = cycle
-        self._consume_r(cycle)
-        self._consume_b(cycle)
-        self._retire_computes(cycle)
-        self._dispatch(cycle)
-        self._push_requests(cycle)
-        self._push_w_data(cycle)
+        if self.port.r._storage:
+            self._consume_r(cycle)
+        if self.port.b._storage:
+            self._consume_b(cycle)
+        if self._pending_computes:
+            self._retire_computes(cycle)
+        hint = self._dispatch(cycle)
+        if self._active_loads or self._active_stores:
+            self._push_requests(cycle)
+        if self._w_backlog:
+            self._push_w_data(cycle)
+        # Everything queue-gated (R/B arrivals, AR/AW/W back-pressure) re-wakes
+        # us through the port subscriptions; the timer heap covers everything
+        # time-gated (op completions, address setup, dispatch stalls).
+        timers = self._timers
+        while timers and timers[0] <= cycle:
+            heappop(timers)
+        if timers and timers[0] < hint:
+            hint = timers[0]
+        return hint
+
+    def wake_queues(self):
+        return self.port.all_queues()
 
     # ------------------------------------------------------------- completion
     def _mark_done(self, op_id: int, cycle: int) -> None:
         self._done_at[op_id] = cycle
+        if cycle > self._cycle:
+            heappush(self._timers, cycle)
         if cycle > self._latest_completion:
             self._latest_completion = cycle
 
@@ -182,7 +203,12 @@ class VectorEngine(Component):
         return op_id in self._done_at and self._done_at[op_id] <= cycle
 
     def _deps_done(self, op: VectorOp, cycle: int) -> bool:
-        return all(self._op_done(dep, cycle) for dep in op.deps)
+        done_at = self._done_at
+        for dep in op.deps:
+            at = done_at.get(dep)
+            if at is None or at > cycle:
+                return False
+        return True
 
     def _load_deps_ready(self, op: VectorOp, cycle: int) -> bool:
         """Dependency check for loads.
@@ -216,23 +242,30 @@ class VectorEngine(Component):
         return not self.done()
 
     # -------------------------------------------------------------- dispatch
-    def _dispatch(self, cycle: int) -> None:
-        if self._cooldown > 0:
-            self._cooldown -= 1
-            return
+    def _dispatch(self, cycle: int) -> float:
+        """Dispatch at most one instruction; return the dispatch wake hint.
+
+        The hint is the next cycle at which dispatch itself must be retried
+        (:data:`IDLE` when dispatch is blocked on events that re-wake the
+        engine anyway: op completions land on the timer heap via
+        :meth:`_mark_done`, and memory-slot/fence pressure clears only when
+        R/B beats arrive on the subscribed port queues).
+        """
         if self._next_op >= len(self.program.ops):
-            return
+            return IDLE
+        if cycle < self._stall_until:
+            return self._stall_until
         op = self.program.ops[self._next_op]
         if isinstance(op, VectorLoad):
             if not self._load_deps_ready(op, cycle):
-                return
+                return IDLE
         elif not isinstance(op, VectorCompute) and not self._deps_done(op, cycle):
-            return
+            return IDLE
         if isinstance(op, ScalarWork):
-            self._cooldown = max(0, op.cycles - 1)
+            self._stall_until = cycle + max(1, op.cycles)
             self._mark_done(op.op_id, cycle + op.cycles)
             self._next_op += 1
-            return
+            return self._after_dispatch_hint()
         if isinstance(op, VectorCompute):
             if self._deps_done(op, cycle):
                 self._schedule_compute(op, cycle)
@@ -243,16 +276,22 @@ class VectorEngine(Component):
                 # known to be complete.  The dispatch cycle is remembered so
                 # the overlapped execution is credited.
                 self._pending_computes.append((op, cycle))
-            self._cooldown = self.config.issue_cycles - 1
+            self._stall_until = cycle + self.config.issue_cycles
             self._next_op += 1
-            return
+            return self._after_dispatch_hint()
         if isinstance(op, (VectorLoad, VectorStore)):
             if not self._try_dispatch_memory(op, cycle):
-                return
-            self._cooldown = self.config.issue_cycles - 1
+                return IDLE
+            self._stall_until = cycle + self.config.issue_cycles
             self._next_op += 1
-            return
+            return self._after_dispatch_hint()
         raise SimulationError(f"unknown op type {type(op).__name__}")
+
+    def _after_dispatch_hint(self) -> float:
+        """Wake at the end of the issue stall if instructions remain."""
+        if self._next_op < len(self.program.ops):
+            return self._stall_until
+        return IDLE
 
     # ----------------------------------------------------------- compute ops
     def _schedule_compute(self, op: VectorCompute, cycle: int) -> None:
@@ -307,7 +346,7 @@ class VectorEngine(Component):
         if getattr(op, "ordered", False) and (self._active_loads or self._active_stores):
             return False
         if any(s.op.ordered for s in self._active_stores) or any(
-            l.op.ordered for l in self._active_loads
+            load.op.ordered for load in self._active_loads
         ):
             return False
         active = self._active_loads if is_load else self._active_stores
@@ -321,6 +360,8 @@ class VectorEngine(Component):
         requests = self._lower(op, is_load)
         state = _MemOpState(op, requests, is_load)
         state.ready_cycle = cycle + self.config.addr_setup_cycles
+        if state.ready_cycle > cycle:
+            heappush(self._timers, state.ready_cycle)
         active.append(state)
         kind = getattr(op, "kind", "data")
         for request in requests:
@@ -412,7 +453,7 @@ class VectorEngine(Component):
         self._w_backlog.popleft()
 
     def _consume_r(self, cycle: int) -> None:
-        if not self.port.r.can_pop():
+        if not self.port.r._storage:
             return
         beat = self.port.r.pop()
         state = self._by_txn.get(beat.txn_id)
@@ -437,7 +478,7 @@ class VectorEngine(Component):
         self._forget(state)
 
     def _consume_b(self, cycle: int) -> None:
-        if not self.port.b.can_pop():
+        if not self.port.b._storage:
             return
         beat = self.port.b.pop()
         state = self._by_txn.get(beat.txn_id)

@@ -2,11 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 
-from repro.errors import ConfigurationError, WorkloadError
+from repro.errors import WorkloadError
 from repro.utils.validation import check_positive
 
 

@@ -24,7 +24,6 @@ from repro.errors import WorkloadError
 from repro.mem.storage import MemoryStorage
 from repro.vector.builder import AraProgramBuilder, Program
 from repro.vector.config import LoweringMode, VectorEngineConfig
-from repro.vector.isa import Mnemonic
 from repro.workloads.base import MemoryLayout, Workload
 from repro.workloads.dense import random_matrix, random_vector
 

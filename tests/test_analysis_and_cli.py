@@ -6,7 +6,6 @@ import pytest
 
 from repro.analysis.experiments import EXPERIMENTS, run_experiment
 from repro.analysis.fig3 import SCALES, figure_3d
-from repro.analysis.fig5 import figure_5c
 from repro.analysis.report import ExperimentTable, format_table, text_bar_chart, write_csv
 from repro.cli import main
 from repro.errors import ConfigurationError

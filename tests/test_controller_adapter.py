@@ -11,9 +11,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.axi.builder import BuilderConfig, RequestBuilder
-from repro.axi.pack import PackUserField
 from repro.axi.stream import ContiguousStream, IndirectStream, StridedStream
-from repro.axi.transaction import BusRequest
 from repro.controller.context import AdapterConfig
 from repro.controller.testbench import ControllerTestbench
 from repro.mem.banked import BankedMemoryConfig

@@ -6,7 +6,7 @@ from repro.axi.pack import PackUserField
 from repro.axi.transaction import BusRequest
 from repro.controller.context import AdapterConfig
 from repro.controller.pipes import ReadPipe, WritePipe
-from repro.controller.planners import plan_narrow_beats, plan_strided_beats
+from repro.controller.planners import plan_strided_beats
 from repro.controller.regulator import RequestRegulator
 from repro.errors import SimulationError
 from repro.sim.stats import StatsRegistry

@@ -52,7 +52,8 @@ class TestFunctional:
         responses, _ = push_and_run(memory, engine, [
             WordRequest(port=0, word_addr=0x10, is_write=False, tag="t")
         ])
-        data = responses[0][0].data.view(np.uint32)[0]
+        # Read responses carry the word payload as raw bytes.
+        data = np.frombuffer(responses[0][0].data, dtype=np.uint32)[0]
         assert data == 0xDEADBEEF
         assert responses[0][0].tag == "t"
 

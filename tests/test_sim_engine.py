@@ -6,7 +6,6 @@ from repro.errors import DeadlockError, SimulationError
 from repro.sim.arbiter import RoundRobinArbiter
 from repro.sim.component import Component
 from repro.sim.engine import Engine
-from repro.sim.queue import DecoupledQueue
 from repro.sim.stats import StatsRegistry
 
 

@@ -9,7 +9,7 @@ from repro.system.runner import compare_systems, run_workload, run_workload_all_
 from repro.system.soc import build_system
 from repro.vector.builder import AraProgramBuilder
 from repro.vector.config import LoweringMode
-from repro.workloads import GemvWorkload, make_workload
+from repro.workloads import make_workload
 
 
 class TestSystemConfig:

@@ -6,7 +6,6 @@ import pytest
 from repro.system.config import SystemConfig, SystemKind
 from repro.system.soc import build_system
 from repro.vector.builder import AraProgramBuilder
-from repro.vector.config import LoweringMode, VectorEngineConfig
 
 
 def run_program(kind, build_fn, init_fn=None, config=None):
