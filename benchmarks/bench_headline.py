@@ -8,29 +8,43 @@ Two things live here:
 
 2. The **engine headline benchmark**: run the full workload × system grid on
    both an SRAM-class memory (``memory_latency=1``, the paper's evaluation
-   systems) and a DRAM-class memory (``memory_latency=100``), once with the
-   event-driven engine and once with the seed-behaviour tick-every-cycle
-   engine (``event_driven=False``), assert the results are byte-identical
-   (same final cycle counts, same statistics), and emit a machine-readable
-   ``BENCH_headline.json`` with cycles/sec and wall time per figure grid
-   point.  CI uploads the JSON as an artifact and gates on cycles/sec
-   regressions against ``benchmarks/baseline.json`` (see
-   ``check_bench_regression.py``).
+   systems) and a DRAM-class memory (``memory_latency=100``), under both
+   data policies (``DataPolicy.FULL`` and the timing-only
+   ``DataPolicy.ELIDE``) and — for FULL — once more on the seed-behaviour
+   tick-every-cycle engine (``event_driven=False``).  Every grid point
+   asserts that cycle counts, statistics and engine measurements are
+   byte-identical across the policy axis *and* across the engine axis, and
+   the run emits a machine-readable ``BENCH_headline.json`` with per-policy
+   cycles/sec and wall time per figure grid point.  CI uploads the JSON as
+   an artifact and gates on per-policy cycles/sec regressions against
+   ``benchmarks/baseline.json`` (see ``check_bench_regression.py``).
 
 Run standalone::
 
     PYTHONPATH=src python benchmarks/bench_headline.py --output BENCH_headline.json
 
-Measured on the seed commit (tick-every-cycle engine, before this change)
-the same grid took 3.6x longer wall-clock than the event-driven engine
-emits here; the in-tree ``--compare-naive`` A/B understates that because
-the compatibility mode shares this tree's cheaper component models.
+Measured on the seed commit (tick-every-cycle engine, before PR 2) the same
+grid took 3.6x longer wall-clock than the event-driven engine emits here;
+the in-tree ``--compare-naive`` A/B understates that because the
+compatibility mode shares this tree's cheaper component models.
+
+On ELIDE wall-clock: profiling this tree shows payload movement is ~12% of
+grid wall time after PR 2's hot-path work (per-cycle control flow and
+per-word request routing dominate, and those are timing-relevant in both
+policies), so whole-grid elision lands around 1.15-1.25x with the largest
+wins on the IDEAL-system points (~1.4-2x, whose FULL mode pays per-element
+Python scatter/gathers).  The ``--elide-speedup-floor`` gate (default
+``$REPRO_ELIDE_SPEEDUP_FLOOR`` or 1.05) asserts the elision never loses
+money; the ISSUE's original ≥2x whole-grid target is not reachable without
+rewriting the shared per-cycle machinery and is documented as such in
+``docs/simulation.md``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from dataclasses import replace
@@ -127,7 +141,14 @@ def _grid_points(scale: str):
                 yield workload, spec_kwargs, kind, mem_name, latency
 
 
-def _run_point(workload, spec_kwargs, kind, latency, event_driven, verify):
+#: Default floor for the whole-grid ELIDE-vs-FULL wall-clock speedup gate.
+DEFAULT_ELIDE_SPEEDUP_FLOOR = float(
+    os.environ.get("REPRO_ELIDE_SPEEDUP_FLOOR", "1.05")
+)
+
+
+def _run_point(workload, spec_kwargs, kind, latency, event_driven, verify,
+               data_policy="full"):
     """One grid point: build, simulate, return (cycles, stats, result, wall)."""
     from repro.axi.transaction import reset_txn_ids
     from repro.orchestrate.spec import WorkloadSpec
@@ -137,7 +158,8 @@ def _run_point(workload, spec_kwargs, kind, latency, event_driven, verify):
     reset_txn_ids()
     instance = WorkloadSpec.create(workload, **spec_kwargs).build()
     config = replace(
-        SystemConfig(), memory_latency=latency, ideal_latency=max(2, latency)
+        SystemConfig(data_policy=data_policy),
+        memory_latency=latency, ideal_latency=max(2, latency),
     ).with_kind(kind)
     soc = build_system(config)
     instance.initialize(soc.storage)
@@ -150,22 +172,35 @@ def _run_point(workload, spec_kwargs, kind, latency, event_driven, verify):
 
 
 def run_engine_benchmark(
-    scale: str = "small", compare_naive: bool = True, verify: bool = False
+    scale: str = "small",
+    compare_naive: bool = True,
+    verify: bool = False,
+    elide_speedup_floor: float = DEFAULT_ELIDE_SPEEDUP_FLOOR,
 ) -> dict:
     """Run the headline grid; return the BENCH_headline.json payload.
 
-    With ``compare_naive`` every point is also run on the tick-every-cycle
-    compatibility engine and the final cycle count, statistics and engine
-    measurements are asserted identical — the event-driven scheduler must
-    never change simulated behaviour, only wall time.
+    Every grid point runs under both data policies on the event-driven
+    engine and asserts cycle counts, statistics and engine measurements
+    byte-identical — the core ELIDE invariant.  With ``compare_naive`` the
+    FULL point is also run on the tick-every-cycle compatibility engine and
+    asserted identical — the event-driven scheduler must never change
+    simulated behaviour, only wall time.  The aggregate ELIDE-vs-FULL
+    wall-clock speedup is asserted to be at least ``elide_speedup_floor``.
     """
     grid = []
-    total_event_wall = 0.0
+    total_full_wall = 0.0
+    total_elide_wall = 0.0
     total_naive_wall = 0.0
     total_cycles = 0
     for workload, spec_kwargs, kind, mem_name, latency in _grid_points(scale):
         cycles, stats, result, wall, verified = _run_point(
             workload, spec_kwargs, kind, latency, True, verify
+        )
+        e_cycles, e_stats, e_result, e_wall, _ = _run_point(
+            workload, spec_kwargs, kind, latency, True, False, data_policy="elide"
+        )
+        identical_policies = (
+            e_cycles == cycles and e_stats == stats and e_result == result
         )
         point = {
             "workload": workload,
@@ -175,11 +210,24 @@ def run_engine_benchmark(
             "cycles": cycles,
             "wall_s": round(wall, 6),
             "cycles_per_sec": round(cycles / wall, 1) if wall > 0 else None,
+            "elide_wall_s": round(e_wall, 6),
+            "elide_cycles_per_sec": (
+                round(cycles / e_wall, 1) if e_wall > 0 else None
+            ),
+            "elide_speedup": round(wall / e_wall, 3) if e_wall > 0 else None,
+            "identical_to_full": identical_policies,
         }
         if verify:
             point["verified"] = bool(verified)
-        total_event_wall += wall
+        total_full_wall += wall
+        total_elide_wall += e_wall
         total_cycles += cycles
+        if not identical_policies:
+            raise AssertionError(
+                f"ELIDE run diverged from FULL run for "
+                f"{workload}/{kind.value}/{mem_name}: "
+                f"cycles {cycles} vs {e_cycles}"
+            )
         if compare_naive:
             n_cycles, n_stats, n_result, n_wall, _ = _run_point(
                 workload, spec_kwargs, kind, latency, False, False
@@ -196,6 +244,9 @@ def run_engine_benchmark(
                     f"cycles {cycles} vs {n_cycles}"
                 )
         grid.append(point)
+    elide_speedup = (
+        total_full_wall / total_elide_wall if total_elide_wall > 0 else None
+    )
     payload = {
         "meta": {
             "benchmark": "headline",
@@ -208,33 +259,48 @@ def run_engine_benchmark(
         "totals": {
             "grid_points": len(grid),
             "cycles": total_cycles,
-            "event_wall_s": round(total_event_wall, 6),
-            "cycles_per_sec": round(total_cycles / total_event_wall, 1),
+            "event_wall_s": round(total_full_wall, 6),
+            "cycles_per_sec": round(total_cycles / total_full_wall, 1),
+            "elide_wall_s": round(total_elide_wall, 6),
+            "elide_cycles_per_sec": round(total_cycles / total_elide_wall, 1),
+            "elide_speedup": round(elide_speedup, 3),
         },
     }
     if compare_naive:
         payload["totals"]["naive_wall_s"] = round(total_naive_wall, 6)
         payload["totals"]["speedup_vs_naive"] = round(
-            total_naive_wall / total_event_wall, 3
+            total_naive_wall / total_full_wall, 3
+        )
+    if elide_speedup is not None and elide_speedup < elide_speedup_floor:
+        raise AssertionError(
+            f"ELIDE wall-clock speedup {elide_speedup:.3f}x fell below the "
+            f"{elide_speedup_floor:.2f}x floor (FULL {total_full_wall:.3f}s, "
+            f"ELIDE {total_elide_wall:.3f}s)"
         )
     return payload
 
 
 def test_engine_benchmark_parity_and_speedup(benchmark):
-    """Event-driven vs tick-every-cycle: identical results, faster wall clock.
+    """Engine and policy A/B: identical results, faster wall clock.
 
     The strict >=3x headline target is measured against the seed engine and
-    enforced by the CI bench gate via cycles/sec; the in-process assertion
-    uses a conservative floor because the in-tree naive mode shares this
-    tree's optimized component models and CI machines are noisy.
+    enforced by the CI bench gate via cycles/sec; the in-process assertions
+    use conservative floors because the in-tree naive mode shares this
+    tree's optimized component models, tiny-scale points are tiny, and CI
+    machines are noisy.  The parity assertions (policy axis and engine
+    axis) are exact.
     """
-    payload = run_once(benchmark, run_engine_benchmark, scale="tiny")
+    payload = run_once(benchmark, run_engine_benchmark, scale="tiny",
+                       elide_speedup_floor=0.8)
     print()
     print(f"grid points          : {payload['totals']['grid_points']}")
-    print(f"event wall           : {payload['totals']['event_wall_s']:.3f}s")
+    print(f"event wall (FULL)    : {payload['totals']['event_wall_s']:.3f}s")
+    print(f"event wall (ELIDE)   : {payload['totals']['elide_wall_s']:.3f}s")
     print(f"naive wall           : {payload['totals']['naive_wall_s']:.3f}s")
     print(f"speedup vs naive mode: {payload['totals']['speedup_vs_naive']:.2f}x")
+    print(f"ELIDE speedup        : {payload['totals']['elide_speedup']:.2f}x")
     assert all(point["identical_to_naive"] for point in payload["grid"])
+    assert all(point["identical_to_full"] for point in payload["grid"])
     assert payload["totals"]["speedup_vs_naive"] > 1.2
 
 
@@ -250,17 +316,27 @@ def main(argv=None) -> int:
                         help="skip the tick-every-cycle A/B runs")
     parser.add_argument("--verify", action="store_true",
                         help="also verify workload results against references")
+    parser.add_argument("--elide-speedup-floor", type=float,
+                        default=DEFAULT_ELIDE_SPEEDUP_FLOOR,
+                        help="minimum aggregate ELIDE-vs-FULL wall-clock "
+                             "speedup (default: $REPRO_ELIDE_SPEEDUP_FLOOR "
+                             "or 1.05)")
     args = parser.parse_args(argv)
     payload = run_engine_benchmark(
-        scale=args.scale, compare_naive=not args.no_compare_naive, verify=args.verify
+        scale=args.scale, compare_naive=not args.no_compare_naive,
+        verify=args.verify, elide_speedup_floor=args.elide_speedup_floor,
     )
     with open(args.output, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
     totals = payload["totals"]
     print(f"wrote {args.output}: {totals['grid_points']} grid points, "
-          f"{totals['cycles']} cycles in {totals['event_wall_s']:.3f}s "
-          f"({totals['cycles_per_sec']:.0f} cycles/sec)")
+          f"{totals['cycles']} cycles in {totals['event_wall_s']:.3f}s FULL "
+          f"({totals['cycles_per_sec']:.0f} cycles/sec), "
+          f"{totals['elide_wall_s']:.3f}s ELIDE "
+          f"({totals['elide_cycles_per_sec']:.0f} cycles/sec)")
+    print(f"ELIDE speedup over FULL: {totals['elide_speedup']:.2f}x "
+          "(byte-identical cycles and stats)")
     if "speedup_vs_naive" in totals:
         print(f"speedup vs tick-every-cycle mode: {totals['speedup_vs_naive']:.2f}x "
               "(byte-identical results)")

@@ -5,10 +5,12 @@ Compares a freshly emitted ``BENCH_headline.json`` against the checked-in
 files carry a *calibration score* (a fixed pure-Python loop, see
 ``bench_headline.calibration_score``); the expected throughput on the
 current machine is the baseline throughput scaled by the ratio of
-calibration scores.  The gate fails when the measured aggregate cycles/sec
-falls more than ``--threshold-pct`` (default 20, override with
-``$REPRO_BENCH_GATE_PCT``) below that expectation, or when any grid point
-diverged from the tick-every-cycle engine.
+calibration scores.  Both data policies are gated: the FULL-mode
+(``cycles_per_sec``) and ELIDE-mode (``elide_cycles_per_sec``) aggregate
+throughputs must each stay within ``--threshold-pct`` (default 20, override
+with ``$REPRO_BENCH_GATE_PCT``) of their calibrated expectations.  The gate
+also fails when any grid point diverged from the tick-every-cycle engine or
+between the two data policies.
 
 Usage::
 
@@ -28,6 +30,29 @@ def load(path: str) -> dict:
         return json.load(handle)
 
 
+def gate_throughput(label, current, baseline, key, machine_ratio, threshold_pct,
+                    failures):
+    """Gate one policy's aggregate cycles/sec against the scaled baseline."""
+    cur_cps = current["totals"].get(key)
+    base_cps = baseline["totals"].get(key)
+    if base_cps is None:
+        print(f"{label:<6s}: no baseline entry ({key}); skipping")
+        return
+    if cur_cps is None:
+        failures.append(f"{label}: current run has no {key} total")
+        return
+    expected_cps = base_cps * machine_ratio
+    change_pct = 100.0 * (cur_cps - expected_cps) / expected_cps
+    print(f"{label:<6s}: baseline {base_cps:12.0f} cycles/sec, "
+          f"current {cur_cps:12.0f}, expected here {expected_cps:12.0f} "
+          f"({change_pct:+.1f}%, gate: -{threshold_pct:.0f}%)")
+    if cur_cps < expected_cps * (1.0 - threshold_pct / 100.0):
+        failures.append(
+            f"{label} cycles/sec regressed {-change_pct:.1f}% vs calibrated "
+            f"baseline (allowed: {threshold_pct:.0f}%)"
+        )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("current", help="freshly emitted BENCH_headline.json")
@@ -45,7 +70,8 @@ def main(argv=None) -> int:
 
     failures = []
 
-    # Correctness gate: the event-driven engine must match the seed behaviour.
+    # Correctness gates: the event-driven engine must match the seed
+    # behaviour, and the ELIDE policy must match FULL bit for bit.
     diverged = [
         f"{p['workload']}/{p['system']}/{p['memory']}"
         for p in current.get("grid", [])
@@ -53,27 +79,29 @@ def main(argv=None) -> int:
     ]
     if diverged:
         failures.append(f"results diverged from the seed-behaviour engine: {diverged}")
+    policy_diverged = [
+        f"{p['workload']}/{p['system']}/{p['memory']}"
+        for p in current.get("grid", [])
+        if p.get("identical_to_full") is False
+    ]
+    if policy_diverged:
+        failures.append(
+            f"ELIDE results diverged from FULL results: {policy_diverged}"
+        )
 
-    cur_cps = current["totals"]["cycles_per_sec"]
-    base_cps = baseline["totals"]["cycles_per_sec"]
     cur_cal = current["calibration_score"]
     base_cal = baseline["calibration_score"]
     machine_ratio = cur_cal / base_cal
-    expected_cps = base_cps * machine_ratio
-    change_pct = 100.0 * (cur_cps - expected_cps) / expected_cps
+    print(f"machine speed ratio: {machine_ratio:.3f}x "
+          f"(calibration {cur_cal:.0f} vs baseline {base_cal:.0f})")
+    gate_throughput("FULL", current, baseline, "cycles_per_sec",
+                    machine_ratio, args.threshold_pct, failures)
+    gate_throughput("ELIDE", current, baseline, "elide_cycles_per_sec",
+                    machine_ratio, args.threshold_pct, failures)
 
-    print(f"baseline : {base_cps:12.0f} cycles/sec (calibration {base_cal:.0f})")
-    print(f"current  : {cur_cps:12.0f} cycles/sec (calibration {cur_cal:.0f})")
-    print(f"machine speed ratio      : {machine_ratio:.3f}x")
-    print(f"expected on this machine : {expected_cps:12.0f} cycles/sec")
-    print(f"throughput vs expectation: {change_pct:+.1f}% "
-          f"(gate: -{args.threshold_pct:.0f}%)")
-
-    if cur_cps < expected_cps * (1.0 - args.threshold_pct / 100.0):
-        failures.append(
-            f"cycles/sec regressed {-change_pct:.1f}% vs calibrated baseline "
-            f"(allowed: {args.threshold_pct:.0f}%)"
-        )
+    elide_speedup = current["totals"].get("elide_speedup")
+    if elide_speedup is not None:
+        print(f"ELIDE speedup over FULL: {elide_speedup:.2f}x")
 
     if failures:
         for failure in failures:

@@ -29,15 +29,18 @@ def _driver_accepts(driver, parameter: str) -> bool:
     return parameter in inspect.signature(driver).parameters
 
 
-def run_experiment(name: str, scale: str = "small", runner=None,
+def run_experiment(name: str, scale: str = "small", runner=None, config=None,
                    **kwargs) -> ExperimentTable:
     """Run one experiment by figure id and return its result table.
 
-    ``scale`` and ``runner`` (a
+    ``scale``, ``runner`` (a
     :class:`repro.orchestrate.parallel.ParallelRunner`, enabling result
-    caching and parallel execution) are forwarded to every driver whose
-    signature accepts them — the simulation-based ones; the analytic area /
-    timing figures compute in microseconds, take neither, and stay serial.
+    caching and parallel execution) and ``config`` (a
+    :class:`repro.system.config.SystemConfig`, e.g. carrying
+    ``DataPolicy.ELIDE`` for timing-only sweeps) are forwarded to every
+    driver whose signature accepts them — the simulation-based ones; the
+    analytic area / timing figures compute in microseconds, take none of
+    them, and stay serial.
     """
     if name not in EXPERIMENTS:
         raise ConfigurationError(
@@ -46,6 +49,8 @@ def run_experiment(name: str, scale: str = "small", runner=None,
     driver = EXPERIMENTS[name]
     if runner is not None and _driver_accepts(driver, "runner"):
         kwargs["runner"] = runner
+    if config is not None and _driver_accepts(driver, "config"):
+        kwargs["config"] = config
     if _driver_accepts(driver, "scale"):
         kwargs["scale"] = scale
     return driver(**kwargs)

@@ -4,11 +4,17 @@ Examples::
 
     axi-pack-repro list
     axi-pack-repro run fig3a --scale small --jobs 4
+    axi-pack-repro run fig3a --scale paper --timing-only
     axi-pack-repro run fig5c --csv fig5c.csv
     axi-pack-repro workloads --size 48 --jobs 8
     axi-pack-repro sweep fig3a fig5a --scale medium --jobs 8
     axi-pack-repro sweep all --no-cache
     axi-pack-repro cache --clear
+
+``--timing-only`` selects ``DataPolicy.ELIDE``: the simulated datapath moves
+no bytes, only geometry, which is markedly faster and produces bit-identical
+cycle counts and statistics; result verification is skipped (``verified`` is
+reported False).  Full and timing-only runs never share cache entries.
 
 Simulation runs are orchestrated (see :mod:`repro.orchestrate`): ``--jobs N``
 fans independent simulations out over ``N`` worker processes, and the result
@@ -39,6 +45,12 @@ def _add_orchestration_options(parser: argparse.ArgumentParser,
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for simulation runs "
                              "(0 = one per CPU; default: 1, serial)")
+    parser.add_argument("--timing-only", action="store_true",
+                        help="simulate with DataPolicy.ELIDE: identical cycle "
+                             "counts and statistics, no data movement, no "
+                             "result verification (results are marked "
+                             "verified=False); cached separately from full "
+                             "runs")
     parser.add_argument("--cache", action=argparse.BooleanOptionalAction,
                         default=None,
                         help="reuse cached simulation results and store new ones "
@@ -107,6 +119,15 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _system_config(args: argparse.Namespace) -> SystemConfig:
+    """The system configuration implied by the CLI flags."""
+    from repro.sim.policy import DataPolicy
+
+    if getattr(args, "timing_only", False):
+        return SystemConfig(data_policy=DataPolicy.ELIDE)
+    return SystemConfig()
+
+
 def _make_runner(args: argparse.Namespace) -> ParallelRunner:
     if args.cache is not None:  # explicit --cache / --no-cache wins
         enabled = args.cache
@@ -138,7 +159,8 @@ def _cmd_list() -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     with _make_runner(args) as runner:
-        table = run_experiment(args.experiment, scale=args.scale, runner=runner)
+        table = run_experiment(args.experiment, scale=args.scale, runner=runner,
+                               config=_system_config(args))
         print(table.render())
         if args.csv:
             write_csv(table, args.csv)
@@ -160,7 +182,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             # the sweep's experiments execute once, nothing touches disk.
             runner.cache = MemoryCache()
         try:
-            tables = run_sweep(args.experiments, scale=args.scale, runner=runner)
+            tables = run_sweep(args.experiments, scale=args.scale, runner=runner,
+                               config=_system_config(args))
         except ConfigurationError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -206,14 +229,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_workloads(args: argparse.Namespace) -> int:
     from repro.orchestrate.spec import WorkloadSpec
 
-    config = SystemConfig()
+    config = _system_config(args)
+    policy_note = " [timing-only]" if config.elides_data else ""
     print(f"Running {len(WORKLOAD_ORDER)} workloads at size {args.size} "
           f"on BASE / PACK / IDEAL ({config.bus_bits}-bit bus, "
-          f"{config.num_banks} banks)")
+          f"{config.num_banks} banks){policy_note}")
     specs = [WorkloadSpec.create(name, size=args.size) for name in WORKLOAD_ORDER]
     with _make_runner(args) as runner:
         comparisons = compare_systems_many(
-            specs, config, verify=not args.no_verify, runner=runner,
+            specs, config, verify=not args.no_verify and not config.elides_data,
+            runner=runner,
         )
         for name in WORKLOAD_ORDER:
             comparison = comparisons[name]

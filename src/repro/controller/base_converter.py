@@ -28,8 +28,8 @@ class BaseAxi4Converter(Converter):
 
     def __init__(self, name: str, ctx: AdapterContext) -> None:
         super().__init__(name, ctx)
-        self._reads = ReadPipe(f"{name}.read", ctx.config, ctx.stats)
-        self._writes = WritePipe(f"{name}.write", ctx.config, ctx.stats)
+        self._reads = ReadPipe(f"{name}.read", ctx.config, ctx.stats, ctx.data_policy)
+        self._writes = WritePipe(f"{name}.write", ctx.config, ctx.stats, ctx.data_policy)
         self._read_seq = 0
         self._write_seq = 0
 

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import ConfigurationError
+from repro.sim.policy import DataPolicy
 from repro.sim.stats import StatsRegistry
 from repro.utils.bitutils import is_power_of_two
 from repro.utils.validation import check_positive
@@ -60,11 +61,24 @@ class AdapterContext:
     in flight.  This is the *request regulator* of Fig. 2c: it prevents the
     decoupling queues from overflowing by refusing to issue more requests
     than the queues can absorb.
+
+    It also carries the adapter-wide :class:`~repro.sim.policy.DataPolicy`
+    and, under ``ELIDE``, a handle to the backing storage so the indirect
+    converters can resolve index values functionally (address-forming data
+    still determines timing) while all payload movement is skipped.
     """
 
-    def __init__(self, config: AdapterConfig, stats: Optional[StatsRegistry] = None) -> None:
+    def __init__(
+        self,
+        config: AdapterConfig,
+        stats: Optional[StatsRegistry] = None,
+        data_policy: DataPolicy = DataPolicy.FULL,
+        storage=None,
+    ) -> None:
         self.config = config
         self.stats = stats if stats is not None else StatsRegistry()
+        self.data_policy = data_policy
+        self.storage = storage
         self._in_flight = [0] * config.bus_words
 
     # ----------------------------------------------------------- regulation

@@ -28,9 +28,48 @@ from repro.controller.context import AdapterContext
 from repro.controller.converter import Converter
 from repro.controller.pipes import ReadPipe
 from repro.controller.planners import plan_index_fetch_beats, plan_indexed_beat
+from repro.errors import SimulationError
 from repro.mem.words import WordRequest
 
 _INDEX_DTYPES = {1: np.uint8, 2: np.uint16, 4: np.uint32, 8: np.uint64}
+
+
+def read_index_oracle(ctx: AdapterContext, request: BusRequest) -> np.ndarray:
+    """Resolve a burst's index values functionally (``DataPolicy.ELIDE``).
+
+    Under ELIDE the index fetch beats carry no bytes, but the index *values*
+    still determine the element addresses — and therefore the bank conflicts
+    and cycle count.  They are read once from the backing storage the
+    workload initialized; the per-line fetch timing is still simulated by
+    the index pipe, values are just consumed from this oracle instead of the
+    returned line payloads.
+    """
+    if ctx.storage is None:
+        raise SimulationError(
+            "DataPolicy.ELIDE needs the adapter context to carry the backing "
+            "storage to resolve indirect-burst indices"
+        )
+    dtype = _INDEX_DTYPES[request.pack.index_bytes]
+    return ctx.storage.read_array(request.index_base, request.num_elements, dtype)
+
+
+def index_line_values(active, plan, data, request: BusRequest,
+                      elide: bool) -> np.ndarray:
+    """The index values carried by one completed index-fetch line.
+
+    In FULL mode they are decoded from the line's payload bytes; under
+    ``DataPolicy.ELIDE`` the line is empty and the next
+    ``useful_bytes // index_bytes`` values are consumed from the burst's
+    oracle (see :func:`read_index_oracle`).  Shared by the indirect read and
+    write converters so the two stay in lock-step.
+    """
+    if elide:
+        count = plan.useful_bytes // request.pack.index_bytes
+        values = active.index_oracle[active.oracle_pos : active.oracle_pos + count]
+        active.oracle_pos += count
+        return values
+    dtype = _INDEX_DTYPES[request.pack.index_bytes]
+    return np.frombuffer(data, dtype=dtype)
 
 
 class _ActiveIndirectRead:
@@ -41,6 +80,8 @@ class _ActiveIndirectRead:
         self.index_buffer: Deque[int] = deque()
         self.elements_planned = 0
         self.next_beat = 0
+        self.index_oracle: Optional[np.ndarray] = None  #: ELIDE only
+        self.oracle_pos = 0
 
     @property
     def fully_planned(self) -> bool:
@@ -52,8 +93,13 @@ class IndirectReadConverter(Converter):
 
     def __init__(self, name: str, ctx: AdapterContext) -> None:
         super().__init__(name, ctx)
-        self._index_pipe = ReadPipe(f"{name}.index", ctx.config, ctx.stats)
-        self._element_pipe = ReadPipe(f"{name}.element", ctx.config, ctx.stats)
+        self._elide = ctx.data_policy.elides_data
+        self._index_pipe = ReadPipe(
+            f"{name}.index", ctx.config, ctx.stats, ctx.data_policy
+        )
+        self._element_pipe = ReadPipe(
+            f"{name}.element", ctx.config, ctx.stats, ctx.data_policy
+        )
         self._bursts: Deque[_ActiveIndirectRead] = deque()
         self._by_txn: Dict[int, _ActiveIndirectRead] = {}
         self._seq = 0
@@ -66,6 +112,8 @@ class IndirectReadConverter(Converter):
 
     def accept_read(self, request: BusRequest) -> None:
         active = _ActiveIndirectRead(request)
+        if self._elide:
+            active.index_oracle = read_index_oracle(self.ctx, request)
         self._bursts.append(active)
         self._by_txn[request.txn_id] = active
         config = self.ctx.config
@@ -94,12 +142,11 @@ class IndirectReadConverter(Converter):
             ready = self._index_pipe.pop_ready_beat()
             if ready is None:
                 return
-            _plan, data, request = ready
-            dtype = _INDEX_DTYPES[request.pack.index_bytes]
-            indices = np.frombuffer(data, dtype=dtype)
+            plan, data, request = ready
             active = self._by_txn.get(request.txn_id)
             if active is not None:
-                active.index_buffer.extend(int(i) for i in indices)
+                values = index_line_values(active, plan, data, request, self._elide)
+                active.index_buffer.extend(int(i) for i in values)
             self.ctx.stats.add("controller.indirect_read.index_lines")
 
     def _plan_element_beats(self) -> None:

@@ -17,11 +17,10 @@ from repro.axi.signals import BBeat
 from repro.axi.transaction import BusRequest
 from repro.controller.context import AdapterContext
 from repro.controller.converter import Converter
+from repro.controller.indirect_read import index_line_values, read_index_oracle
 from repro.controller.pipes import ReadPipe, WritePipe
 from repro.controller.planners import plan_index_fetch_beats, plan_indexed_beat
 from repro.mem.words import WordRequest
-
-_INDEX_DTYPES = {1: np.uint8, 2: np.uint16, 4: np.uint32, 8: np.uint64}
 
 
 class _ActiveIndirectWrite:
@@ -34,6 +33,8 @@ class _ActiveIndirectWrite:
         self.payloads: Deque[bytes] = deque()
         self.elements_planned = 0
         self.next_beat = 0
+        self.index_oracle: Optional[np.ndarray] = None  #: ELIDE only
+        self.oracle_pos = 0
 
     @property
     def fully_planned(self) -> bool:
@@ -45,8 +46,13 @@ class IndirectWriteConverter(Converter):
 
     def __init__(self, name: str, ctx: AdapterContext) -> None:
         super().__init__(name, ctx)
-        self._index_pipe = ReadPipe(f"{name}.index", ctx.config, ctx.stats)
-        self._write_pipe = WritePipe(f"{name}.element", ctx.config, ctx.stats)
+        self._elide = ctx.data_policy.elides_data
+        self._index_pipe = ReadPipe(
+            f"{name}.index", ctx.config, ctx.stats, ctx.data_policy
+        )
+        self._write_pipe = WritePipe(
+            f"{name}.element", ctx.config, ctx.stats, ctx.data_policy
+        )
         self._bursts: Deque[_ActiveIndirectWrite] = deque()
         self._by_txn: Dict[int, _ActiveIndirectWrite] = {}
         self._seq = 0
@@ -60,6 +66,8 @@ class IndirectWriteConverter(Converter):
     def accept_write(self, request: BusRequest) -> None:
         wpipe_burst = self._write_pipe.accept(request, planner=None)
         active = _ActiveIndirectWrite(request, wpipe_burst)
+        if self._elide:
+            active.index_oracle = read_index_oracle(self.ctx, request)
         self._bursts.append(active)
         self._by_txn[request.txn_id] = active
         config = self.ctx.config
@@ -81,7 +89,10 @@ class IndirectWriteConverter(Converter):
         burst = self._write_pipe.take_w_beat(payload)
         for active in self._bursts:
             if active.wpipe_burst is burst:
-                active.payloads.append(bytes(payload))
+                # Under ELIDE the payload is empty; it is still queued so
+                # `_plan_write_beats` sees the W beat's arrival (planning is
+                # gated on data presence, which is a timing property).
+                active.payloads.append(b"" if self._elide else bytes(payload))
                 return
 
     # ----------------------------------------------------------------- cycle
@@ -94,12 +105,11 @@ class IndirectWriteConverter(Converter):
             ready = self._index_pipe.pop_ready_beat()
             if ready is None:
                 return
-            _plan, data, request = ready
-            dtype = _INDEX_DTYPES[request.pack.index_bytes]
-            indices = np.frombuffer(data, dtype=dtype)
+            plan, data, request = ready
             active = self._by_txn.get(request.txn_id)
             if active is not None:
-                active.index_buffer.extend(int(i) for i in indices)
+                values = index_line_values(active, plan, data, request, self._elide)
+                active.index_buffer.extend(int(i) for i in values)
             self.ctx.stats.add("controller.indirect_write.index_lines")
 
     def _plan_write_beats(self) -> None:

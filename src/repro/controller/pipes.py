@@ -26,6 +26,7 @@ from repro.controller.plans import BeatPlan, ReadBeatState, WordSlot, WriteBeatS
 from repro.controller.regulator import RequestRegulator
 from repro.errors import SimulationError
 from repro.mem.words import WordRequest
+from repro.sim.policy import DataPolicy
 from repro.sim.stats import StatsRegistry
 
 
@@ -35,12 +36,27 @@ class ReadPipe:
     Beats are issued and completed strictly in order, which keeps the R
     channel ordering rules trivially satisfied and matches the info-queue
     discipline of the RTL beat packer.
+
+    Under ``DataPolicy.ELIDE`` no payload buffers exist: word responses only
+    decrement the beat's completion count, and completed beats emit empty
+    payloads with their geometry (``useful_bytes``) intact.
     """
 
-    def __init__(self, name: str, config: AdapterConfig, stats: StatsRegistry) -> None:
+    def __init__(
+        self,
+        name: str,
+        config: AdapterConfig,
+        stats: StatsRegistry,
+        data_policy: DataPolicy = DataPolicy.FULL,
+    ) -> None:
         self.name = name
         self.config = config
         self.stats = stats
+        self._elide = data_policy.elides_data
+        #: beat-state factory bound once: payload-carrying or timing-only
+        self._make_state = (
+            ReadBeatState.from_plan_elided if self._elide else ReadBeatState.from_plan
+        )
         self.regulator = RequestRegulator(config.bus_words, config.queue_depth)
         self._beats: Deque[Tuple[ReadBeatState, BusRequest]] = deque()
         #: beats with unissued slots, oldest first: [state, next_slot_index]
@@ -50,8 +66,9 @@ class ReadPipe:
     # -------------------------------------------------------------- planning
     def add_plans(self, request: BusRequest, plans: Iterable[BeatPlan]) -> None:
         """Queue pre-computed beat plans belonging to ``request``."""
+        make_state = self._make_state
         for plan in plans:
-            state = ReadBeatState.from_plan(plan)
+            state = make_state(plan)
             self._beats.append((state, request))
             if plan.slots:
                 self._unissued.append([state, 0])
@@ -107,10 +124,11 @@ class ReadPipe:
         """Deliver one returned word to its beat."""
         # Inlined ReadBeatState.fill + RequestRegulator.note_retire: this runs
         # once per word access, the hottest path in the controller model.
-        shift = slot.byte_shift
-        offset = slot.offset
-        nbytes = slot.nbytes
-        state.data[offset : offset + nbytes] = data[shift : shift + nbytes]
+        if state.data is not None:
+            shift = slot.byte_shift
+            offset = slot.offset
+            nbytes = slot.nbytes
+            state.data[offset : offset + nbytes] = data[shift : shift + nbytes]
         state.remaining -= 1
         in_flight = self.regulator._in_flight
         port = slot.port
@@ -132,7 +150,8 @@ class ReadPipe:
             raise SimulationError(
                 f"{self.name}: beat completed before all slots were issued"
             )
-        return state.plan, bytes(state.data), request
+        data = b"" if state.data is None else bytes(state.data)
+        return state.plan, data, request
 
     def pop_ready_r_beat(self) -> Optional[RBeat]:
         """Like :meth:`pop_ready_beat` but wrapped as an R-channel beat."""
@@ -184,10 +203,17 @@ class _ActiveWriteBurst:
 class WritePipe:
     """Unpacks W beats into word writes and tracks their acknowledgements."""
 
-    def __init__(self, name: str, config: AdapterConfig, stats: StatsRegistry) -> None:
+    def __init__(
+        self,
+        name: str,
+        config: AdapterConfig,
+        stats: StatsRegistry,
+        data_policy: DataPolicy = DataPolicy.FULL,
+    ) -> None:
         self.name = name
         self.config = config
         self.stats = stats
+        self._elide = data_policy.elides_data
         self.regulator = RequestRegulator(config.bus_words, config.queue_depth)
         self._bursts: Deque[_ActiveWriteBurst] = deque()
         self._beats: Deque[Tuple[WriteBeatState, _ActiveWriteBurst]] = deque()
@@ -231,7 +257,9 @@ class WritePipe:
 
     def add_beat(self, plan: BeatPlan, payload: bytes, burst: _ActiveWriteBurst) -> None:
         """Queue one fully planned write beat with its payload."""
-        state = WriteBeatState(plan=plan, payload=bytes(payload))
+        state = WriteBeatState(
+            plan=plan, payload=None if self._elide else bytes(payload)
+        )
         self._beats.append((state, burst))
         if plan.slots:
             self._unissued.append(state)
@@ -273,10 +301,14 @@ class WritePipe:
     def _word_write_data(self, state: WriteBeatState, slot: WordSlot):
         """Full word of write data for one slot (partial words are rejected)."""
         if slot.nbytes != self.config.word_bytes or slot.byte_shift != 0:
+            # Geometry-only check: kept under ELIDE too, so both policies
+            # reject the same malformed plans at the same point.
             raise SimulationError(
                 f"{self.name}: partial-word write at word {slot.word_addr:#x} — "
                 "the model requires word-aligned write payloads"
             )
+        if state.payload is None:
+            return None
         return state.slot_data(slot)
 
     # ------------------------------------------------------------- responses

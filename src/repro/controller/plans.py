@@ -94,7 +94,11 @@ class BeatPlan:
 
 
 class ReadBeatState:
-    """In-flight tracking of a read beat: collected words and completion."""
+    """In-flight tracking of a read beat: collected words and completion.
+
+    ``data`` is the packed beat payload under assembly — or ``None`` under
+    ``DataPolicy.ELIDE``, where only the completion count is tracked.
+    """
 
     __slots__ = ("plan", "remaining", "data")
 
@@ -107,6 +111,11 @@ class ReadBeatState:
     def from_plan(cls, plan: BeatPlan) -> "ReadBeatState":
         """Create fresh tracking state for a planned beat."""
         return cls(plan=plan, remaining=plan.num_words, data=bytearray(plan.useful_bytes))
+
+    @classmethod
+    def from_plan_elided(cls, plan: BeatPlan) -> "ReadBeatState":
+        """Tracking state for a timing-only beat: no payload buffer at all."""
+        return cls(plan=plan, remaining=plan.num_words, data=None)
 
     def fill(self, slot: WordSlot, word_data: bytes) -> None:
         """Place one returned word into the packed beat payload."""
@@ -121,7 +130,11 @@ class ReadBeatState:
 
 
 class WriteBeatState:
-    """In-flight tracking of a write beat: issued words and acknowledgements."""
+    """In-flight tracking of a write beat: issued words and acknowledgements.
+
+    ``payload`` is ``None`` under ``DataPolicy.ELIDE`` (word writes are
+    issued and acknowledged with their geometry only).
+    """
 
     __slots__ = ("plan", "payload", "next_slot", "acks_pending")
 

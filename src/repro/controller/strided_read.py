@@ -29,7 +29,7 @@ class StridedReadConverter(Converter):
 
     def __init__(self, name: str, ctx: AdapterContext) -> None:
         super().__init__(name, ctx)
-        self._pipe = ReadPipe(name, ctx.config, ctx.stats)
+        self._pipe = ReadPipe(name, ctx.config, ctx.stats, ctx.data_policy)
         self._seq = 0
 
     def can_accept_read(self, request: BusRequest) -> bool:

@@ -24,7 +24,7 @@ class StridedWriteConverter(Converter):
 
     def __init__(self, name: str, ctx: AdapterContext) -> None:
         super().__init__(name, ctx)
-        self._pipe = WritePipe(name, ctx.config, ctx.stats)
+        self._pipe = WritePipe(name, ctx.config, ctx.stats, ctx.data_policy)
 
     def can_accept_write(self, request: BusRequest) -> bool:
         if request.mode is not PackMode.STRIDED or not request.is_write:

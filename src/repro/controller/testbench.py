@@ -25,6 +25,7 @@ from repro.mem.banked import BankedMemory, BankedMemoryConfig
 from repro.mem.storage import MemoryStorage
 from repro.sim.component import IDLE, Component, WakeHint
 from repro.sim.engine import Engine
+from repro.sim.policy import DataPolicy
 from repro.sim.stats import StatsRegistry
 
 
@@ -189,6 +190,7 @@ class ControllerTestbench:
         memory_config: Optional[BankedMemoryConfig] = None,
         memory_bytes: int = 1 << 22,
         port_config: Optional[AxiPortConfig] = None,
+        data_policy: DataPolicy = DataPolicy.FULL,
     ) -> None:
         self.adapter_config = adapter_config or AdapterConfig()
         self.memory_config = memory_config or BankedMemoryConfig(
@@ -196,10 +198,15 @@ class ControllerTestbench:
         )
         self.storage = MemoryStorage(memory_bytes)
         self.stats = StatsRegistry()
+        self.data_policy = data_policy
         self.port = AxiPort("tb", self.adapter_config.bus_bytes, port_config)
-        self.memory = BankedMemory("mem", self.memory_config, self.storage, self.stats)
+        self.memory = BankedMemory(
+            "mem", self.memory_config, self.storage, self.stats,
+            data_policy=data_policy,
+        )
         self.adapter = AxiPackAdapter(
-            "adapter", self.port, self.memory, self.adapter_config, self.stats
+            "adapter", self.port, self.memory, self.adapter_config, self.stats,
+            data_policy=data_policy,
         )
 
     def run(

@@ -6,6 +6,19 @@ This models the memory the AXI-Pack controller sits in front of (paper
 serves one word access per cycle; when several ports target the same bank in
 the same cycle, all but one stall — those stalls are the bank conflicts that
 limit the utilization curves of Fig. 5.
+
+Arbitration is *batched*: every cycle the head-of-line requests of all ports
+are gathered, their banks computed in one vectorized
+``BankAddressMap.banks_of_words`` call (no per-request modulo/`decompose`
+math), and winners picked per bank from the precomputed bank list.  The
+grants are exactly those of the scalar reference arbiter: per bank, the
+claimant with the smallest ``(port - last_grant - 1) % num_ports`` wins (all
+claimants win under ``conflict_free``), and since each port contributes at
+most one request per cycle, per-port state is independent of the order banks
+are resolved in.  A fully array-side selection (lexsort on ``(bank, rotated
+priority)`` plus first-of-run masking) computes the same winners but was
+measured slower for batches bounded by ``num_ports``; the property test in
+``tests/test_data_policy.py`` pins the equivalence of the two formulations.
 """
 
 from __future__ import annotations
@@ -14,10 +27,13 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, List, Optional, Tuple
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.mem.storage import MemoryStorage
 from repro.mem.words import BankAddressMap, WordRequest, WordResponse
 from repro.sim.component import IDLE, Component, WakeHint
+from repro.sim.policy import DataPolicy
 from repro.sim.queue import DecoupledQueue
 from repro.sim.stats import StatsRegistry
 from repro.utils.validation import check_positive
@@ -58,6 +74,11 @@ class BankedMemory(Component):
     ``request_queues[port]`` and receive :class:`WordResponse` items from
     ``response_queues[port]``.  Responses on one port always return in
     request order (fixed bank latency plus in-order issue per port).
+
+    Under ``DataPolicy.ELIDE`` the banks never touch the backing
+    :class:`MemoryStorage`: accesses are granted, counted and timed exactly
+    as in FULL mode, but read responses carry no bytes and writes discard
+    their (absent) payloads.
     """
 
     def __init__(
@@ -66,11 +87,14 @@ class BankedMemory(Component):
         config: BankedMemoryConfig,
         storage: MemoryStorage,
         stats: Optional[StatsRegistry] = None,
+        data_policy: DataPolicy = DataPolicy.FULL,
     ) -> None:
         super().__init__(name)
         self.config = config
         self.storage = storage
         self.stats = stats if stats is not None else StatsRegistry()
+        self.data_policy = data_policy
+        self._elide = data_policy.elides_data
         self.address_map = config.address_map
         self.request_queues: List[DecoupledQueue[WordRequest]] = [
             DecoupledQueue(f"{name}.req[{port}]", config.request_queue_depth)
@@ -124,16 +148,18 @@ class BankedMemory(Component):
 
     def _accept_requests(self, cycle: int) -> None:
         config = self.config
-        word_bytes = config.word_bytes
-        num_banks = config.num_banks
-        latency = config.latency
         in_flight_limit = 4 * config.response_queue_depth
         request_queues = self.request_queues
         all_in_flight = self._in_flight
-        # Group head-of-line requests by target bank.  A single claimant is
-        # stored as a bare port index (the common case); conflicts upgrade
-        # the entry to a list.
-        claims: Optional[dict] = None
+        # Gather this cycle's head-of-line claimants.  The single-claimant
+        # case (the majority of cycles) stays on plain scalars; two or more
+        # claimants are batched into numpy arrays below.  (The per-request
+        # `decompose`/modulo bank math is gone from this path: batch banks
+        # come from one vectorized `banks_of_words` call.)
+        first_port = -1
+        first_word = 0
+        batch_ports = None
+        batch_words = None
         for port, queue in enumerate(request_queues):
             storage = queue._storage
             if not storage:
@@ -141,47 +167,87 @@ class BankedMemory(Component):
             # Hold issue if the response path is saturated to bound in-flight state.
             if len(all_in_flight[port]) >= in_flight_limit:
                 continue
-            bank = storage[0].word_addr % num_banks
-            if claims is None:
-                claims = {bank: port}
-                continue
-            prev = claims.get(bank)
-            if prev is None:
-                claims[bank] = port
-            elif prev.__class__ is int:
-                claims[bank] = [prev, port]
+            if first_port < 0:
+                first_port = port
+                first_word = storage[0].word_addr
+            elif batch_ports is None:
+                batch_ports = [first_port, port]
+                batch_words = [first_word, storage[0].word_addr]
             else:
-                prev.append(port)
-        if claims is None:
+                batch_ports.append(port)
+                batch_words.append(storage[0].word_addr)
+        if first_port < 0:
             return
         conflict_free = config.conflict_free
-        last_grant = self._bank_last_grant
-        for bank, ports in claims.items():
-            if ports.__class__ is int:
-                granted_ports = (ports,)
-                if not conflict_free:
-                    last_grant[bank] = ports
-            elif conflict_free:
-                granted_ports = ports
-            else:
-                granted_ports = (self._round_robin_pick(bank, ports),)
-                self._c_conflicts.value += len(ports) - 1
-            for port in granted_ports:
-                request = request_queues[port].pop()
-                response = self._perform_access(request, word_bytes)
-                all_in_flight[port].append((cycle + latency, response))
-                self._c_accesses.value += 1
-                if request.is_write:
-                    self._c_writes.value += 1
+        if batch_ports is None:
+            if not conflict_free:
+                self._bank_last_grant[first_word % config.num_banks] = first_port
+            granted = (first_port,)
+        elif conflict_free:
+            # The ideal crossbar grants every claimant; no conflicts, no
+            # round-robin state.  Port order matches the scalar arbiter's
+            # claim-list order (claimants were gathered in port order).
+            granted = batch_ports
+        else:
+            # One vectorized bank computation for the whole batch; the
+            # winner-per-bank pick then runs over the precomputed bank list.
+            # (A full array-side selection — lexsort on (bank, rotated
+            # priority) + first-of-run masking — was measured slower than
+            # this scan for batches bounded by num_ports; see
+            # tests/test_data_policy.py for the equivalence property test.)
+            banks = self.address_map.banks_of_words(
+                np.array(batch_words, dtype=np.int64)
+            ).tolist()
+            last_grant = self._bank_last_grant
+            num_ports = config.num_ports
+            claims: dict = {}
+            for index, bank in enumerate(banks):
+                prev = claims.get(bank)
+                if prev is None:
+                    claims[bank] = index
+                elif prev.__class__ is int:
+                    claims[bank] = [prev, index]
                 else:
-                    self._c_reads.value += 1
-
-    def _round_robin_pick(self, bank: int, ports: List[int]) -> int:
-        last = self._bank_last_grant[bank]
-        num_ports = self.config.num_ports
-        best = min(ports, key=lambda p: (p - last - 1) % num_ports)
-        self._bank_last_grant[bank] = best
-        return best
+                    prev.append(index)
+            granted = []
+            for bank, entry in claims.items():
+                if entry.__class__ is int:
+                    port = batch_ports[entry]
+                else:
+                    # Round-robin pick: the claimant round-robin-closest
+                    # after the bank's last grant wins (distinct keys, so
+                    # the minimum is unique and order-independent).
+                    last = last_grant[bank]
+                    port = min(
+                        (batch_ports[i] for i in entry),
+                        key=lambda p: (p - last - 1) % num_ports,
+                    )
+                    self._c_conflicts.value += len(entry) - 1
+                last_grant[bank] = port
+                granted.append(port)
+        # Grant phase: pop each winner's request and start the bank access.
+        # Per-port state is independent, so grant order across banks cannot
+        # affect simulated behaviour.
+        elide = self._elide
+        latency = config.latency
+        word_bytes = config.word_bytes
+        writes = 0
+        for port in granted:
+            request = request_queues[port].pop()
+            if elide:
+                # Timing-only fast path: no storage access, and the request
+                # object doubles as its own response — it already carries
+                # the port, routing tag and is_write flag, and its (ignored)
+                # data field is None for reads.
+                response = request
+            else:
+                response = self._perform_access(request, word_bytes)
+            all_in_flight[port].append((cycle + latency, response))
+            if request.is_write:
+                writes += 1
+        self._c_accesses.value += len(granted)
+        self._c_writes.value += writes
+        self._c_reads.value += len(granted) - writes
 
     def _perform_access(self, request: WordRequest, word_bytes: int) -> WordResponse:
         byte_addr = request.word_addr * word_bytes

@@ -22,11 +22,18 @@ from repro.errors import ProtocolError
 from repro.mem.functional import read_burst_payload, write_burst_payload
 from repro.mem.storage import MemoryStorage
 from repro.sim.component import IDLE, Component, WakeHint
+from repro.sim.policy import DataPolicy
 from repro.sim.stats import StatsRegistry
 
 
 class IdealMemoryEndpoint(Component):
-    """Serves AXI/AXI-Pack bursts at one fully packed beat per cycle."""
+    """Serves AXI/AXI-Pack bursts at one fully packed beat per cycle.
+
+    Under ``DataPolicy.ELIDE`` the endpoint never touches the backing
+    storage: read beats carry empty payloads with the exact ``useful_bytes``
+    geometry of FULL mode, and write bursts are consumed and acknowledged
+    without applying their (absent) payloads.
+    """
 
     def __init__(
         self,
@@ -35,12 +42,15 @@ class IdealMemoryEndpoint(Component):
         storage: MemoryStorage,
         latency: int = 2,
         stats: Optional[StatsRegistry] = None,
+        data_policy: DataPolicy = DataPolicy.FULL,
     ) -> None:
         super().__init__(name)
         self.port = port
         self.storage = storage
         self.latency = max(1, latency)
         self.stats = stats if stats is not None else StatsRegistry()
+        self.data_policy = data_policy
+        self._elide = data_policy.elides_data
         # Active read: (request, payload bytes, next beat index, start cycle)
         self._read: Optional[list] = None
         self._read_backlog: Deque[BusRequest] = deque()
@@ -77,18 +87,28 @@ class IdealMemoryEndpoint(Component):
             return
         bus_bytes = request.bus_bytes
         start = beat_index * bus_bytes
-        chunk = payload[start : start + bus_bytes]
+        if payload is None:
+            # Timing-only: geometry of the beat without the bytes.  The
+            # useful-byte count matches the FULL-mode payload slice exactly
+            # (the payload has ``payload_bytes`` bytes; a misaligned
+            # contiguous burst's trailing beats can slice past its end,
+            # yielding empty FULL-mode chunks).
+            chunk = b""
+            useful = min(bus_bytes, max(0, request.payload_bytes - start))
+        else:
+            chunk = payload[start : start + bus_bytes]
+            useful = len(chunk)
         last = beat_index == request.num_beats - 1
         self.port.r.push(
             RBeat(
                 txn_id=request.txn_id,
                 data=chunk,
-                useful_bytes=len(chunk),
+                useful_bytes=useful,
                 last=last,
             )
         )
         self.stats.add("ideal.r_beats")
-        self.stats.add("ideal.r_useful_bytes", len(chunk))
+        self.stats.add("ideal.r_useful_bytes", useful)
         if last:
             self._read = None
             if self._read_backlog:
@@ -101,7 +121,7 @@ class IdealMemoryEndpoint(Component):
     def _start_read(self, request: BusRequest, cycle: int) -> None:
         if request.is_write:
             raise ProtocolError("write request arrived on the AR channel")
-        payload = read_burst_payload(self.storage, request)
+        payload = None if self._elide else read_burst_payload(self.storage, request)
         self._read = [request, payload, 0, cycle + self.latency]
 
     # ----------------------------------------------------------------- writes
@@ -117,19 +137,21 @@ class IdealMemoryEndpoint(Component):
         # Consume at most one W beat per cycle (one bus width of bandwidth).
         if beats < request.num_beats and self.port.w.can_pop():
             beat = self.port.w.pop()
-            data = beat.data
-            if isinstance(data, (bytes, bytearray, memoryview)):
-                chunk = np.frombuffer(data, dtype=np.uint8)[: beat.useful_bytes]
-            else:
-                chunk = np.asarray(data, dtype=np.uint8)[: beat.useful_bytes]
-            chunks.append(chunk)
+            if not self._elide:
+                data = beat.data
+                if isinstance(data, (bytes, bytearray, memoryview)):
+                    chunk = np.frombuffer(data, dtype=np.uint8)[: beat.useful_bytes]
+                else:
+                    chunk = np.asarray(data, dtype=np.uint8)[: beat.useful_bytes]
+                chunks.append(chunk)
             beats += 1
             self._write[2] = beats
             self.stats.add("ideal.w_beats")
             self.stats.add("ideal.w_useful_bytes", beat.useful_bytes)
         if beats == request.num_beats and self.port.b.can_push():
-            payload = np.concatenate(chunks)[: request.payload_bytes]
-            write_burst_payload(self.storage, request, payload)
+            if not self._elide:
+                payload = np.concatenate(chunks)[: request.payload_bytes]
+                write_burst_payload(self.storage, request, payload)
             self.port.b.push(BBeat(txn_id=request.txn_id))
             self._write = None
 

@@ -41,9 +41,28 @@ class MemoryStorage:
             )
 
     def read(self, addr: int, length: int) -> np.ndarray:
-        """Return ``length`` bytes starting at ``addr`` (as a copy)."""
+        """Return ``length`` bytes starting at ``addr`` (as a copy).
+
+        External callers get copy semantics: the result never aliases the
+        memory image, so it stays valid across later writes.  Hot paths that
+        consume the bytes immediately should use :meth:`read_view` instead.
+        """
         self._check_range(addr, length)
         return self._data[addr : addr + length].copy()
+
+    def read_view(self, addr: int, length: int) -> np.ndarray:
+        """Return ``length`` bytes starting at ``addr`` as a zero-copy view.
+
+        The view is read-only and aliases the live memory image: it reflects
+        any write performed after the call.  It exists for hot paths that
+        immediately re-slice, re-type or copy the bytes (``read_array``, the
+        indirect converters' index resolution) — do not hold it across
+        simulated cycles; use :meth:`read` for copy semantics.
+        """
+        self._check_range(addr, length)
+        view = self._data[addr : addr + length]
+        view.flags.writeable = False
+        return view
 
     def read_bytes(self, addr: int, length: int) -> bytes:
         """Return ``length`` bytes starting at ``addr`` as a ``bytes`` object.
@@ -69,9 +88,13 @@ class MemoryStorage:
 
     # ---------------------------------------------------------- typed access
     def read_array(self, addr: int, count: int, dtype: Union[str, np.dtype]) -> np.ndarray:
-        """Read ``count`` elements of ``dtype`` starting at ``addr``."""
+        """Read ``count`` elements of ``dtype`` starting at ``addr``.
+
+        Built on :meth:`read_view` so the bytes are copied exactly once (into
+        the typed result) instead of once per layer.
+        """
         dtype = np.dtype(dtype)
-        raw = self.read(addr, count * dtype.itemsize)
+        raw = self.read_view(addr, count * dtype.itemsize)
         return raw.view(dtype).copy()
 
     def write_array(self, addr: int, values: np.ndarray) -> None:

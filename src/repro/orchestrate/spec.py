@@ -31,7 +31,10 @@ from repro.version import __version__
 
 #: Bump to invalidate every cache entry when result semantics change without
 #: a package version bump (e.g. a simulator bug fix during development).
-CACHE_SCHEMA_VERSION = 1
+#: 2: ``SystemConfig`` grew ``data_policy`` — every fingerprint now names the
+#: policy explicitly, so a FULL result can never serve an ELIDE request (or
+#: vice versa) and pre-policy entries are unreachable/prunable.
+CACHE_SCHEMA_VERSION = 2
 
 
 def canonicalize(value: Any) -> Any:
@@ -179,7 +182,8 @@ class RunSpec:
 
     def label(self) -> str:
         """Short human-readable description for progress reporting."""
-        return f"{self.workload.name}/{self.kind.value}"
+        suffix = "/elide" if self.config.elides_data else ""
+        return f"{self.workload.name}/{self.kind.value}{suffix}"
 
 
 def _measure_function(mode: str):

@@ -53,12 +53,15 @@ def expand_sweep(names: Iterable[str]) -> List[str]:
 
 
 def run_sweep(names: Sequence[str], scale: str = "small",
-              runner: Optional[ParallelRunner] = None) -> Dict[str, object]:
+              runner: Optional[ParallelRunner] = None,
+              config=None) -> Dict[str, object]:
     """Run a subset of experiments; returns ``{figure id: ExperimentTable}``.
 
     Tables come back in the order the (expanded) names were given.  The same
     ``runner`` — and therefore the same cache statistics and process pool
-    settings — is used for every experiment in the sweep.
+    settings — is used for every experiment in the sweep.  ``config`` (e.g.
+    a :class:`~repro.system.config.SystemConfig` with ``DataPolicy.ELIDE``
+    for a timing-only sweep) is forwarded to every driver that accepts one.
     """
     from repro.analysis.experiments import run_experiment
     from repro.orchestrate.cache import MemoryCache
@@ -72,5 +75,6 @@ def run_sweep(names: Sequence[str], scale: str = "small",
         runner = ParallelRunner(cache=MemoryCache())
     tables: Dict[str, object] = {}
     for name in expand_sweep(names):
-        tables[name] = run_experiment(name, scale=scale, runner=runner)
+        tables[name] = run_experiment(name, scale=scale, runner=runner,
+                                      config=config)
     return tables

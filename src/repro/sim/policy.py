@@ -1,0 +1,87 @@
+"""Data policy of the simulated datapath: full payloads or timing only.
+
+The headline experiments (the fig3/fig5 grids) consume *timing* outputs —
+cycle counts, bus utilization, stall statistics — yet under the default
+policy every simulated beat also materializes and copies real byte payloads
+through the AXI channels, the converter pipes and the banked memory.  The
+:class:`DataPolicy` makes that data plane optional:
+
+``DataPolicy.FULL``
+    Today's behaviour: every beat, word slot and bus payload carries real
+    bytes, loads and stores move data end to end, and workload results can
+    be verified against their reference implementations.
+
+``DataPolicy.ELIDE``
+    Timing only: beats, word slots and bus payloads carry *geometry*
+    (lengths, strobes, word addresses) but no bytes.  The backing
+    :class:`~repro.mem.storage.MemoryStorage` is never touched by the
+    datapath, and workload result verification is skipped — results are
+    explicitly marked ``verified=False``.
+
+The one deliberate exception in ELIDE mode is *address-forming* data: index
+arrays fetched by the indirect converters and index vector loads (``kind ==
+"index"``) are still resolved functionally against the memory image the
+workload initialized, because the element addresses they produce determine
+bank conflicts and therefore timing.  With that exception in place, cycle
+counts and every :class:`~repro.sim.stats.StatsRegistry` counter are
+bit-identical between the two policies — the core invariant, enforced by
+``tests/test_data_policy.py`` and the A/B check in
+``benchmarks/bench_headline.py``.
+
+ELIDE is sound whenever only timing outputs are consumed; it is unsound for
+any flow that reads simulated memory or register contents afterwards
+(verification, functional golden checks, result post-processing).
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+from typing import Optional, Union
+
+#: Environment variable selecting the default policy (``full`` or ``elide``).
+DATA_POLICY_ENV = "REPRO_DATA_POLICY"
+
+
+class DataPolicy(enum.Enum):
+    """How much of the data plane the simulated datapath materializes."""
+
+    FULL = "full"
+    ELIDE = "elide"
+
+    @property
+    def elides_data(self) -> bool:
+        """True when beat/word payloads are geometry-only (no bytes)."""
+        return self is DataPolicy.ELIDE
+
+
+def default_data_policy() -> DataPolicy:
+    """The policy selected by ``$REPRO_DATA_POLICY`` (default: FULL)."""
+    raw = os.environ.get(DATA_POLICY_ENV)
+    if raw is None:
+        return DataPolicy.FULL
+    return resolve_data_policy(raw)
+
+
+def resolve_data_policy(
+    value: Optional[Union["DataPolicy", str]],
+) -> DataPolicy:
+    """Coerce ``None`` / a policy name / a policy to a :class:`DataPolicy`.
+
+    ``None`` resolves to the environment default, strings by enum value
+    (case-insensitive).  Raises ``ValueError`` for unknown names so a typo'd
+    ``REPRO_DATA_POLICY`` fails loudly instead of silently simulating the
+    wrong thing.
+    """
+    if value is None:
+        return default_data_policy()
+    if isinstance(value, DataPolicy):
+        return value
+    name = value.strip().lower()
+    try:
+        return DataPolicy(name)
+    except ValueError:
+        raise ValueError(
+            f"unknown data policy {value!r}; choose from "
+            f"{[policy.value for policy in DataPolicy]}"
+        ) from None

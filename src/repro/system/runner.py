@@ -41,7 +41,10 @@ def run_workload(
         system.  ``kind`` overrides the configuration's system kind.
     verify:
         If True, the workload's results in simulated memory are checked
-        against its reference implementation after the run.
+        against its reference implementation after the run.  Under
+        ``DataPolicy.ELIDE`` no results exist to check: verification is
+        skipped regardless and the result is explicitly marked
+        ``verified=False``.
     """
     config = config or SystemConfig()
     if kind is not None:
@@ -50,7 +53,10 @@ def run_workload(
     workload.initialize(soc.storage)
     program = workload.build_program(config.lowering, config.vector_config())
     cycles, engine_result = soc.run_program(program, max_cycles=max_cycles)
-    verified = workload.verify(soc.storage) if verify else None
+    if config.elides_data:
+        verified: Optional[bool] = False
+    else:
+        verified = workload.verify(soc.storage) if verify else None
     return SystemRunResult(
         workload=workload.name,
         kind=config.kind,

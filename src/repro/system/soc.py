@@ -27,6 +27,7 @@ class Soc:
 
     def __init__(self, config: SystemConfig) -> None:
         self.config = config
+        self.data_policy = config.data_policy
         self.storage = MemoryStorage(config.memory_bytes)
         self.stats = StatsRegistry()
         self.port = AxiPort("cpu", config.bus_bytes, AxiPortConfig())
@@ -35,13 +36,16 @@ class Soc:
             self.endpoint = IdealMemoryEndpoint(
                 "ideal_mem", self.port, self.storage,
                 latency=config.ideal_latency, stats=self.stats,
+                data_policy=self.data_policy,
             )
         else:
             self.memory = BankedMemory(
-                "banked_mem", config.memory_config(), self.storage, self.stats
+                "banked_mem", config.memory_config(), self.storage, self.stats,
+                data_policy=self.data_policy,
             )
             self.endpoint = AxiPackAdapter(
-                "adapter", self.port, self.memory, config.adapter_config(), self.stats
+                "adapter", self.port, self.memory, config.adapter_config(),
+                self.stats, data_policy=self.data_policy,
             )
 
     @property
@@ -70,7 +74,9 @@ class Soc:
             )
         engine = Engine(event_driven=event_driven)
         vector = VectorEngine(
-            "ara", program, self.port, self.config.vector_config(), self.config.lowering
+            "ara", program, self.port, self.config.vector_config(),
+            self.config.lowering, data_policy=self.data_policy,
+            storage=self.storage,
         )
         # Registration wires the wake machinery: each component subscribes to
         # the queues named by its ``wake_queues`` (the AXI port channels, the

@@ -27,6 +27,13 @@ Loads deposit real bytes into the register file, stores write register
 contents back to the memory model, and arithmetic ops with an ``fn`` compute
 real numpy results — so every workload's output can be checked against a
 reference implementation.
+
+Under :class:`~repro.sim.policy.DataPolicy.ELIDE` the functional model is
+switched off: beats carry geometry only, the register file stays untouched
+and results cannot be verified.  The one exception is index loads (``kind ==
+"index"``), whose values feed address generation on the BASE system — they
+are resolved functionally against the backing storage so cycle counts stay
+bit-identical to FULL mode.
 """
 
 from __future__ import annotations
@@ -47,6 +54,7 @@ from repro.axi.stream import ContiguousStream, IndirectStream, StridedStream
 from repro.axi.transaction import BusRequest
 from repro.errors import SimulationError, WorkloadError
 from repro.sim.component import IDLE, Component, WakeHint
+from repro.sim.policy import DataPolicy
 from repro.vector.builder import Program
 from repro.vector.config import LoweringMode, VectorEngineConfig
 from repro.vector.ops import ScalarWork, VectorCompute, VectorLoad, VectorOp, VectorStore
@@ -59,7 +67,13 @@ _DTYPES = {"float32": np.float32, "uint32": np.uint32, "int32": np.int32,
 class _MemOpState:
     """In-flight bookkeeping of one vector load or store."""
 
-    def __init__(self, op: VectorOp, requests: List[BusRequest], is_load: bool) -> None:
+    def __init__(
+        self,
+        op: VectorOp,
+        requests: List[BusRequest],
+        is_load: bool,
+        elide: bool = False,
+    ) -> None:
         self.op = op
         self.requests = requests
         self.is_load = is_load
@@ -67,7 +81,10 @@ class _MemOpState:
         self.total_beats = sum(request.num_beats for request in requests)
         self.beats_done = 0
         self.responses_pending = len(requests)
-        self.chunks: Dict[int, List[bytes]] = {request.txn_id: [] for request in requests}
+        #: collected R payload per transaction (None under DataPolicy.ELIDE)
+        self.chunks: Optional[Dict[int, List[bytes]]] = (
+            None if elide else {request.txn_id: [] for request in requests}
+        )
         self.positions: Dict[int, int] = {
             request.txn_id: index for index, request in enumerate(requests)
         }
@@ -138,12 +155,19 @@ class VectorEngine(Component):
         port: AxiPort,
         config: Optional[VectorEngineConfig] = None,
         mode: Optional[LoweringMode] = None,
+        data_policy: DataPolicy = DataPolicy.FULL,
+        storage=None,
     ) -> None:
         super().__init__(name)
         self.program = program
         self.port = port
         self.config = config or VectorEngineConfig(bus_bytes=port.bus_bytes)
         self.mode = mode or program.mode
+        self.data_policy = data_policy
+        self._elide = data_policy.elides_data
+        #: backing storage, used under ELIDE as the oracle for index loads
+        #: (``kind == "index"``) whose values feed address generation
+        self._storage = storage
         self.regfile = VectorRegisterFile(self.config.register_group_bytes)
         self.request_builder = RequestBuilder(BuilderConfig(bus_bytes=port.bus_bytes))
         self.r_monitor = ChannelMonitor("R", port.bus_bytes)
@@ -158,7 +182,8 @@ class VectorEngine(Component):
         self._active_stores: List[_MemOpState] = []
         self._by_txn: Dict[int, _MemOpState] = {}
         self._txn_kind: Dict[int, str] = {}
-        self._w_backlog: Deque[Tuple[BusRequest, int, bytes]] = deque()
+        #: pending W beats: (request, beat index, payload chunk | None, useful)
+        self._w_backlog: Deque[Tuple[BusRequest, int, Optional[bytes], int]] = deque()
         self._pending_computes: List = []
         self._scheduled_computes: set = set()
         self._alu_busy_until = 0
@@ -312,7 +337,8 @@ class VectorEngine(Component):
         self._alu_busy_until = end
         self._mark_done(op.op_id, end)
         self._scheduled_computes.add(op.op_id)
-        self._apply_compute(op)
+        if not self._elide:
+            self._apply_compute(op)
 
     def _apply_compute(self, op: VectorCompute) -> None:
         if op.fn is None:
@@ -358,7 +384,7 @@ class VectorEngine(Component):
         if len(active) >= limit:
             return False
         requests = self._lower(op, is_load)
-        state = _MemOpState(op, requests, is_load)
+        state = _MemOpState(op, requests, is_load, self._elide)
         state.ready_cycle = cycle + self.config.addr_setup_cycles
         if state.ready_cycle > cycle:
             heappush(self._timers, state.ready_cycle)
@@ -402,6 +428,13 @@ class VectorEngine(Component):
 
     def _queue_write_data(self, state: _MemOpState) -> None:
         op = state.op
+        if self._elide:
+            # Timing-only: queue every W beat with its geometry, no payload.
+            for request in state.requests:
+                for beat in range(request.num_beats):
+                    useful = request.beat_useful_bytes(beat)
+                    self._w_backlog.append((request, beat, None, useful))
+            return
         values = self.regfile.read_vector(op.src)
         dtype = _DTYPES[op.dtype]
         payload = np.ascontiguousarray(values, dtype=dtype).tobytes()
@@ -416,7 +449,7 @@ class VectorEngine(Component):
                 useful = request.beat_useful_bytes(beat)
                 chunk = payload[offset : offset + useful]
                 offset += useful
-                self._w_backlog.append((request, beat, chunk))
+                self._w_backlog.append((request, beat, chunk, useful))
 
     # ---------------------------------------------------------- AXI channels
     def _push_requests(self, cycle: int) -> None:
@@ -440,16 +473,19 @@ class VectorEngine(Component):
     def _push_w_data(self, cycle: int) -> None:
         if not self._w_backlog or not self.port.w.can_push():
             return
-        request, beat, chunk = self._w_backlog[0]
+        request, beat, chunk, useful = self._w_backlog[0]
         owner = self._by_txn[request.txn_id]
         # W data may only flow for requests whose AW has been issued.
         if owner.positions[request.txn_id] >= owner.next_request:
             return
-        padded = chunk + b"\x00" * (request.bus_bytes - len(chunk))
+        if chunk is None:
+            padded = b""
+        else:
+            padded = chunk + b"\x00" * (request.bus_bytes - useful)
         self.port.w.push(
-            WBeat(data=padded, useful_bytes=len(chunk), last=beat == request.num_beats - 1)
+            WBeat(data=padded, useful_bytes=useful, last=beat == request.num_beats - 1)
         )
-        self.w_monitor.record_beat(len(chunk))
+        self.w_monitor.record_beat(useful)
         self._w_backlog.popleft()
 
     def _consume_r(self, cycle: int) -> None:
@@ -461,7 +497,8 @@ class VectorEngine(Component):
             raise SimulationError(f"R beat for unknown transaction {beat.txn_id}")
         kind = self._txn_kind.get(beat.txn_id, "data")
         self.r_monitor.record_beat(beat.useful_bytes, kind=kind)
-        state.chunks[beat.txn_id].append(bytes(beat.data)[: beat.useful_bytes])
+        if not self._elide:
+            state.chunks[beat.txn_id].append(bytes(beat.data)[: beat.useful_bytes])
         state.beats_done += 1
         if state.first_beat_cycle is None:
             state.first_beat_cycle = cycle
@@ -470,12 +507,36 @@ class VectorEngine(Component):
 
     def _finish_load(self, state: _MemOpState, cycle: int) -> None:
         op = state.op
-        dtype = _DTYPES[op.dtype]
-        values = np.frombuffer(state.payload(), dtype=dtype)[: op.stream.num_elements]
-        self.regfile.write_vector(op.dest, values.copy())
+        if self._elide:
+            if getattr(op, "kind", "data") == "index":
+                # Index values feed address generation (the BASE system's
+                # register-indexed gathers); resolve them functionally so
+                # later lowering produces FULL-identical requests.
+                self.regfile.write_vector(op.dest, self._oracle_payload(state))
+        else:
+            dtype = _DTYPES[op.dtype]
+            values = np.frombuffer(state.payload(), dtype=dtype)[
+                : op.stream.num_elements
+            ]
+            self.regfile.write_vector(op.dest, values.copy())
         self._mark_done(op.op_id, cycle + self.config.memory_latency_slack)
         self._active_loads.remove(state)
         self._forget(state)
+
+    def _oracle_payload(self, state: _MemOpState) -> np.ndarray:
+        """Resolve a load's values from the backing storage (ELIDE only)."""
+        from repro.mem.functional import read_burst_payload
+
+        if self._storage is None:
+            raise WorkloadError(
+                "DataPolicy.ELIDE needs the vector engine to carry the backing "
+                "storage to resolve index loads"
+            )
+        op = state.op
+        parts = [read_burst_payload(self._storage, r) for r in state.requests]
+        raw = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        dtype = _DTYPES[op.dtype]
+        return raw.view(dtype)[: op.stream.num_elements].copy()
 
     def _consume_b(self, cycle: int) -> None:
         if not self.port.b._storage:

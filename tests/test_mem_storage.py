@@ -76,6 +76,45 @@ class TestScatterGather:
             storage.read_scattered(np.asarray([len(storage)]), 4)
 
 
+class TestReadView:
+    def test_view_is_zero_copy(self, storage):
+        storage.write(16, b"\x01\x02\x03\x04")
+        view = storage.read_view(16, 4)
+        assert bytes(view) == b"\x01\x02\x03\x04"
+        # The view aliases the live image: later writes show through it,
+        # which is exactly what distinguishes it from read()'s copy.
+        storage.write(16, b"\xff\xff\xff\xff")
+        assert bytes(view) == b"\xff\xff\xff\xff"
+        assert bytes(storage.read(16, 4)) == b"\xff\xff\xff\xff"
+
+    def test_view_is_read_only(self, storage):
+        view = storage.read_view(0, 8)
+        with pytest.raises(ValueError):
+            view[0] = 1
+
+    def test_read_keeps_copy_semantics(self, storage):
+        storage.write(0, b"\x05\x06\x07\x08")
+        copy = storage.read(0, 4)
+        storage.write(0, b"\x00\x00\x00\x00")
+        assert bytes(copy) == b"\x05\x06\x07\x08"
+        copy[0] = 9  # a read() result stays writable
+        assert storage.read(0, 1)[0] == 0
+
+    def test_view_bounds_checked(self, storage):
+        with pytest.raises(MemoryError_):
+            storage.read_view(len(storage) - 2, 4)
+        with pytest.raises(MemoryError_):
+            storage.read_view(-1, 2)
+
+    def test_read_array_single_copy_still_owned(self, storage):
+        values = np.arange(8, dtype=np.float32)
+        storage.write_array(64, values)
+        out = storage.read_array(64, 8, np.float32)
+        storage.fill(0)
+        assert np.array_equal(out, values)  # independent of the image
+        out[0] = 42.0  # and writable
+
+
 class TestUtilities:
     def test_fill_and_snapshot(self, storage):
         storage.fill(7)
