@@ -6,18 +6,23 @@ Two things live here:
    problem scale (speedups, utilizations, energy, area), unchanged from the
    seed benchmark suite.
 
-2. The **engine headline benchmark**: run the full workload × system grid on
-   both an SRAM-class memory (``memory_latency=1``, the paper's evaluation
+2. The **engine headline benchmark**: run the full workload × system grid
+   (the paper's six kernels plus the streaming ``csrspmv``) on both an
+   SRAM-class memory (``memory_latency=1``, the paper's evaluation
    systems) and a DRAM-class memory (``memory_latency=100``), under both
    data policies (``DataPolicy.FULL`` and the timing-only
-   ``DataPolicy.ELIDE``) and — for FULL — once more on the seed-behaviour
-   tick-every-cycle engine (``event_driven=False``).  Every grid point
-   asserts that cycle counts, statistics and engine measurements are
-   byte-identical across the policy axis *and* across the engine axis, and
-   the run emits a machine-readable ``BENCH_headline.json`` with per-policy
-   cycles/sec and wall time per figure grid point.  CI uploads the JSON as
-   an artifact and gates on per-policy cycles/sec regressions against
-   ``benchmarks/baseline.json`` (see ``check_bench_regression.py``).
+   ``DataPolicy.ELIDE``), for FULL once more on the seed-behaviour
+   tick-every-cycle engine (``event_driven=False``), and in both policies
+   once more on the seed scalar datapath (``REPRO_SIM_DATAPATH=scalar``).
+   Every grid point asserts that cycle counts, statistics and engine
+   measurements are byte-identical across the policy axis, the engine axis
+   *and* the datapath axis, and the run emits a machine-readable
+   ``BENCH_headline.json`` with per-policy cycles/sec and wall time per
+   figure grid point, plus — with ``--history BENCH_history.jsonl``, which
+   CI passes — one JSONL line appended to the cross-PR perf trajectory.
+   CI uploads both as artifacts and gates
+   on per-policy cycles/sec regressions against ``benchmarks/baseline.json``
+   (see ``check_bench_regression.py``).
 
 Run standalone::
 
@@ -47,12 +52,16 @@ import json
 import os
 import sys
 import time
-from dataclasses import replace
 
 from conftest import run_once
 
 from repro.analysis.fig3 import collect_figure_3a_comparisons
 from repro.analysis.fig4 import figure_4c
+from repro.analysis.headline import (
+    MEMORY_LATENCY,
+    point_system_config,
+    workload_spec_kwargs,
+)
 from repro.hw import AdapterAreaModel
 from repro.hw.technology import GF22FDX
 
@@ -98,8 +107,9 @@ def test_headline_results(benchmark):
 # Engine headline benchmark (BENCH_headline.json emission + regression gate)
 # --------------------------------------------------------------------------
 
-#: The two memory classes of the headline grid (name, memory_latency).
-LATENCY_GRID = (("sram", 1), ("dram", 100))
+#: The two memory classes of the headline grid (name, memory_latency) —
+#: shared with the `repro profile` subcommand via repro.analysis.headline.
+LATENCY_GRID = tuple(MEMORY_LATENCY.items())
 
 
 def calibration_score(duration: float = 0.25) -> float:
@@ -125,17 +135,19 @@ def calibration_score(duration: float = 0.25) -> float:
     return best
 
 
+#: Extra (non-paper-figure) workloads that ride in the headline grid.
+#: ``csrspmv`` streams the whole nonzero set through the indirect-read path
+#: in maximum-length chunks, exercising the batch kernels with long
+#: irregular index streams (the row-wise kernels only issue short ones).
+EXTRA_GRID_WORKLOADS = ("csrspmv",)
+
+
 def _grid_points(scale: str):
-    from repro.analysis.fig3 import SCALES
     from repro.system.config import SystemKind
     from repro.workloads.registry import WORKLOAD_ORDER
 
-    dense_n, sparse_rows, nnz = SCALES[scale]
-    for workload in WORKLOAD_ORDER:
-        if workload in ("ismt", "gemv", "trmv"):
-            spec_kwargs = dict(size=dense_n)
-        else:
-            spec_kwargs = dict(size=sparse_rows, avg_nnz_per_row=min(nnz, sparse_rows))
+    for workload in WORKLOAD_ORDER + EXTRA_GRID_WORKLOADS:
+        spec_kwargs = workload_spec_kwargs(workload, scale)
         for kind in (SystemKind.BASE, SystemKind.PACK, SystemKind.IDEAL):
             for mem_name, latency in LATENCY_GRID:
                 yield workload, spec_kwargs, kind, mem_name, latency
@@ -148,32 +160,40 @@ DEFAULT_ELIDE_SPEEDUP_FLOOR = float(
 
 
 def _run_point(workload, spec_kwargs, kind, latency, event_driven, verify,
-               data_policy="full"):
+               data_policy="full", datapath=None):
     """One grid point: build, simulate, return (cycles, stats, result, wall)."""
     from repro.axi.transaction import reset_txn_ids
     from repro.orchestrate.spec import WorkloadSpec
-    from repro.system.config import SystemConfig
+    from repro.sim.datapath import DATAPATH_ENV
     from repro.system.soc import build_system
 
     reset_txn_ids()
-    instance = WorkloadSpec.create(workload, **spec_kwargs).build()
-    config = replace(
-        SystemConfig(data_policy=data_policy),
-        memory_latency=latency, ideal_latency=max(2, latency),
-    ).with_kind(kind)
-    soc = build_system(config)
-    instance.initialize(soc.storage)
-    program = instance.build_program(config.lowering, config.vector_config())
-    start = time.perf_counter()
-    cycles, result = soc.run_program(program, event_driven=event_driven)
-    wall = time.perf_counter() - start
-    verified = instance.verify(soc.storage) if verify else None
-    return cycles, dict(soc.stats.as_dict()), result, wall, verified
+    saved_datapath = os.environ.get(DATAPATH_ENV)
+    if datapath is not None:
+        os.environ[DATAPATH_ENV] = datapath
+    try:
+        instance = WorkloadSpec.create(workload, **spec_kwargs).build()
+        config = point_system_config(kind, latency, data_policy)
+        soc = build_system(config)
+        instance.initialize(soc.storage)
+        program = instance.build_program(config.lowering, config.vector_config())
+        start = time.perf_counter()
+        cycles, result = soc.run_program(program, event_driven=event_driven)
+        wall = time.perf_counter() - start
+        verified = instance.verify(soc.storage) if verify else None
+        return cycles, dict(soc.stats.as_dict()), result, wall, verified
+    finally:
+        if datapath is not None:
+            if saved_datapath is None:
+                os.environ.pop(DATAPATH_ENV, None)
+            else:
+                os.environ[DATAPATH_ENV] = saved_datapath
 
 
 def run_engine_benchmark(
     scale: str = "small",
     compare_naive: bool = True,
+    compare_scalar: bool = True,
     verify: bool = False,
     elide_speedup_floor: float = DEFAULT_ELIDE_SPEEDUP_FLOOR,
 ) -> dict:
@@ -182,15 +202,22 @@ def run_engine_benchmark(
     Every grid point runs under both data policies on the event-driven
     engine and asserts cycle counts, statistics and engine measurements
     byte-identical — the core ELIDE invariant.  With ``compare_naive`` the
-    FULL point is also run on the tick-every-cycle compatibility engine and
-    asserted identical — the event-driven scheduler must never change
-    simulated behaviour, only wall time.  The aggregate ELIDE-vs-FULL
+    FULL point is also run on the tick-every-cycle compatibility engine,
+    and with ``compare_scalar`` under the seed scalar datapath
+    (``REPRO_SIM_DATAPATH=scalar``) in both policies — all asserted
+    identical: neither the event-driven scheduler nor the batch
+    struct-of-arrays datapath may ever change simulated behaviour, only
+    wall time.  (The remaining scalar×naive corners of the full
+    scalar/batch × event/naive × FULL/ELIDE cube are pinned by
+    ``tests/test_datapath_parity.py``.)  The aggregate ELIDE-vs-FULL
     wall-clock speedup is asserted to be at least ``elide_speedup_floor``.
     """
     grid = []
     total_full_wall = 0.0
     total_elide_wall = 0.0
     total_naive_wall = 0.0
+    total_scalar_wall = 0.0
+    total_scalar_elide_wall = 0.0
     total_cycles = 0
     for workload, spec_kwargs, kind, mem_name, latency in _grid_points(scale):
         cycles, stats, result, wall, verified = _run_point(
@@ -243,6 +270,34 @@ def run_engine_benchmark(
                     f"{workload}/{kind.value}/{mem_name}: "
                     f"cycles {cycles} vs {n_cycles}"
                 )
+        if compare_scalar:
+            s_cycles, s_stats, s_result, s_wall, _ = _run_point(
+                workload, spec_kwargs, kind, latency, True, False,
+                datapath="scalar",
+            )
+            se_cycles, se_stats, se_result, se_wall, _ = _run_point(
+                workload, spec_kwargs, kind, latency, True, False,
+                data_policy="elide", datapath="scalar",
+            )
+            identical_scalar = (
+                s_cycles == cycles and s_stats == stats and s_result == result
+                and se_cycles == cycles and se_stats == stats
+                and se_result == result
+            )
+            point["scalar_wall_s"] = round(s_wall, 6)
+            point["scalar_elide_wall_s"] = round(se_wall, 6)
+            point["datapath_speedup"] = (
+                round(s_wall / wall, 3) if wall > 0 else None
+            )
+            point["identical_to_scalar"] = identical_scalar
+            total_scalar_wall += s_wall
+            total_scalar_elide_wall += se_wall
+            if not identical_scalar:
+                raise AssertionError(
+                    f"scalar-datapath run diverged from batch run for "
+                    f"{workload}/{kind.value}/{mem_name}: "
+                    f"cycles {cycles} vs {s_cycles}/{se_cycles}"
+                )
         grid.append(point)
     elide_speedup = (
         total_full_wall / total_elide_wall if total_elide_wall > 0 else None
@@ -271,6 +326,14 @@ def run_engine_benchmark(
         payload["totals"]["speedup_vs_naive"] = round(
             total_naive_wall / total_full_wall, 3
         )
+    if compare_scalar:
+        payload["totals"]["scalar_wall_s"] = round(total_scalar_wall, 6)
+        payload["totals"]["scalar_elide_wall_s"] = round(
+            total_scalar_elide_wall, 6
+        )
+        payload["totals"]["datapath_speedup"] = round(
+            total_scalar_wall / total_full_wall, 3
+        )
     if elide_speedup is not None and elide_speedup < elide_speedup_floor:
         raise AssertionError(
             f"ELIDE wall-clock speedup {elide_speedup:.3f}x fell below the "
@@ -281,14 +344,14 @@ def run_engine_benchmark(
 
 
 def test_engine_benchmark_parity_and_speedup(benchmark):
-    """Engine and policy A/B: identical results, faster wall clock.
+    """Engine, policy and datapath A/B: identical results, faster wall clock.
 
-    The strict >=3x headline target is measured against the seed engine and
+    The strict headline targets are measured against the seed engine and
     enforced by the CI bench gate via cycles/sec; the in-process assertions
     use conservative floors because the in-tree naive mode shares this
     tree's optimized component models, tiny-scale points are tiny, and CI
-    machines are noisy.  The parity assertions (policy axis and engine
-    axis) are exact.
+    machines are noisy.  The parity assertions (policy axis, engine axis
+    and datapath axis) are exact.
     """
     payload = run_once(benchmark, run_engine_benchmark, scale="tiny",
                        elide_speedup_floor=0.8)
@@ -297,11 +360,47 @@ def test_engine_benchmark_parity_and_speedup(benchmark):
     print(f"event wall (FULL)    : {payload['totals']['event_wall_s']:.3f}s")
     print(f"event wall (ELIDE)   : {payload['totals']['elide_wall_s']:.3f}s")
     print(f"naive wall           : {payload['totals']['naive_wall_s']:.3f}s")
+    print(f"scalar-datapath wall : {payload['totals']['scalar_wall_s']:.3f}s")
     print(f"speedup vs naive mode: {payload['totals']['speedup_vs_naive']:.2f}x")
     print(f"ELIDE speedup        : {payload['totals']['elide_speedup']:.2f}x")
+    print(f"datapath speedup     : {payload['totals']['datapath_speedup']:.2f}x")
     assert all(point["identical_to_naive"] for point in payload["grid"])
     assert all(point["identical_to_full"] for point in payload["grid"])
+    assert all(point["identical_to_scalar"] for point in payload["grid"])
     assert payload["totals"]["speedup_vs_naive"] > 1.2
+
+
+def append_history(payload: dict, history_path: str) -> dict:
+    """Append one JSONL trajectory entry for this run to ``history_path``.
+
+    The trajectory file makes the perf trend across PRs queryable (one line
+    per bench run: commit, date, calibration score, per-policy totals)
+    instead of a single overwritten snapshot.
+    """
+    import datetime
+    import subprocess
+
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        ).stdout.strip() or "unknown"
+    except (OSError, subprocess.SubprocessError):
+        commit = "unknown"
+    entry = {
+        "date": datetime.datetime.now(datetime.timezone.utc).strftime(
+            "%Y-%m-%dT%H:%M:%SZ"
+        ),
+        "commit": commit,
+        "scale": payload["meta"]["scale"],
+        "python": payload["meta"]["python"],
+        "calibration_score": payload["calibration_score"],
+        "totals": payload["totals"],
+    }
+    with open(history_path, "a") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
 
 
 def main(argv=None) -> int:
@@ -314,8 +413,16 @@ def main(argv=None) -> int:
                         help="problem scale (tiny/small/medium/paper)")
     parser.add_argument("--no-compare-naive", action="store_true",
                         help="skip the tick-every-cycle A/B runs")
+    parser.add_argument("--no-compare-scalar", action="store_true",
+                        help="skip the scalar-datapath A/B runs")
     parser.add_argument("--verify", action="store_true",
                         help="also verify workload results against references")
+    parser.add_argument("--history", metavar="PATH", default=None,
+                        help="append this run's totals as one JSONL line to "
+                             "PATH (the cross-PR trajectory; CI passes "
+                             "BENCH_history.jsonl — ad-hoc local runs should "
+                             "leave it off so laptop noise stays out of the "
+                             "committed trend)")
     parser.add_argument("--elide-speedup-floor", type=float,
                         default=DEFAULT_ELIDE_SPEEDUP_FLOOR,
                         help="minimum aggregate ELIDE-vs-FULL wall-clock "
@@ -324,6 +431,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     payload = run_engine_benchmark(
         scale=args.scale, compare_naive=not args.no_compare_naive,
+        compare_scalar=not args.no_compare_scalar,
         verify=args.verify, elide_speedup_floor=args.elide_speedup_floor,
     )
     with open(args.output, "w") as handle:
@@ -340,6 +448,12 @@ def main(argv=None) -> int:
     if "speedup_vs_naive" in totals:
         print(f"speedup vs tick-every-cycle mode: {totals['speedup_vs_naive']:.2f}x "
               "(byte-identical results)")
+    if "datapath_speedup" in totals:
+        print(f"speedup vs scalar datapath: {totals['datapath_speedup']:.2f}x "
+              "(byte-identical results)")
+    if args.history:
+        entry = append_history(payload, args.history)
+        print(f"appended {entry['commit']} @ {entry['date']} to {args.history}")
     return 0
 
 

@@ -88,6 +88,16 @@ def main(argv=None) -> int:
         failures.append(
             f"ELIDE results diverged from FULL results: {policy_diverged}"
         )
+    datapath_diverged = [
+        f"{p['workload']}/{p['system']}/{p['memory']}"
+        for p in current.get("grid", [])
+        if p.get("identical_to_scalar") is False
+    ]
+    if datapath_diverged:
+        failures.append(
+            f"batch-datapath results diverged from the scalar datapath: "
+            f"{datapath_diverged}"
+        )
 
     cur_cal = current["calibration_score"]
     base_cal = baseline["calibration_score"]
@@ -102,6 +112,9 @@ def main(argv=None) -> int:
     elide_speedup = current["totals"].get("elide_speedup")
     if elide_speedup is not None:
         print(f"ELIDE speedup over FULL: {elide_speedup:.2f}x")
+    datapath_speedup = current["totals"].get("datapath_speedup")
+    if datapath_speedup is not None:
+        print(f"batch-datapath speedup over scalar: {datapath_speedup:.2f}x")
 
     if failures:
         for failure in failures:

@@ -1,0 +1,41 @@
+"""Shared headline-grid geometry: workload sizing and memory classes.
+
+One definition of "a grid point" for every consumer — the headline engine
+benchmark (``benchmarks/bench_headline.py``), the ``repro profile`` CLI
+subcommand, and any future driver — so the dense/sparse sizing rules and
+the SRAM/DRAM latency classes cannot drift apart between the tool that
+measures and the tool that explains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict
+
+from repro.analysis.fig3 import SCALES
+from repro.system.config import SystemConfig, SystemKind
+
+#: Workloads sized by dense matrix dimension (the rest take sparse rows).
+DENSE_WORKLOADS = ("ismt", "gemv", "trmv")
+
+#: The two memory classes of the headline grid (name -> memory_latency).
+MEMORY_LATENCY: Dict[str, int] = {"sram": 1, "dram": 100}
+
+
+def workload_spec_kwargs(workload: str, scale: str) -> dict:
+    """Constructor kwargs for ``workload`` at ``scale`` (fig3 sizing rules)."""
+    dense_n, sparse_rows, nnz = SCALES[scale]
+    if workload in DENSE_WORKLOADS:
+        return dict(size=dense_n)
+    return dict(size=sparse_rows, avg_nnz_per_row=min(nnz, sparse_rows))
+
+
+def point_system_config(
+    kind: SystemKind, latency: int, data_policy="full"
+) -> SystemConfig:
+    """The system configuration of one headline grid point."""
+    return replace(
+        SystemConfig(data_policy=data_policy),
+        memory_latency=latency,
+        ideal_latency=max(2, latency),
+    ).with_kind(kind)

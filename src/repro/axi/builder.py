@@ -112,18 +112,44 @@ class RequestBuilder:
         This is what an unextended vector unit must do for strided and
         indexed accesses: issue one address per element and waste the wide
         data bus on every beat.
+
+        The BASE system lowers every gather/scatter through here — one
+        request per element — so this is a burst-creation hot path.  All the
+        requests of one call share their geometry and are legal by
+        construction, so a fully validated prototype is built once and the
+        rest are dict-level copies differing only in address and transaction
+        id, with the prototype's cached geometry attributes pre-seeded.
         """
-        return [
-            BusRequest(
-                addr=int(addr),
-                is_write=is_write,
-                num_elements=1,
-                elem_bytes=elem_bytes,
-                bus_bytes=self.bus_bytes,
-                contiguous=False,
-            )
-            for addr in addresses
-        ]
+        if len(addresses) == 0:
+            return []
+        from repro.axi.transaction import next_txn_id
+
+        proto = BusRequest(
+            addr=int(addresses[0]),
+            is_write=is_write,
+            num_elements=1,
+            elem_bytes=elem_bytes,
+            bus_bytes=self.bus_bytes,
+            contiguous=False,
+        )
+        # Touch every cached geometry attribute so the copies inherit the
+        # computed values (cached_property stores them in the instance dict).
+        # All are address-independent for single-element narrow bursts.
+        _ = (proto.mode, proto.is_packed, proto.is_narrow, proto.elems_per_beat,
+             proto.beat_bytes, proto.payload_bytes, proto.num_beats)
+        requests = [proto]
+        base = proto.__dict__
+        cls = BusRequest
+        new = object.__new__
+        append = requests.append
+        for addr in addresses[1:]:
+            request = new(cls)
+            copy = dict(base)
+            copy["addr"] = int(addr)
+            copy["txn_id"] = next_txn_id()
+            request.__dict__ = copy
+            append(request)
+        return requests
 
     def base_strided(self, stream: StridedStream, is_write: bool) -> List[BusRequest]:
         """BASE lowering of a strided stream: one narrow request per element.

@@ -9,6 +9,7 @@ Examples::
     axi-pack-repro workloads --size 48 --jobs 8
     axi-pack-repro sweep fig3a fig5a --scale medium --jobs 8
     axi-pack-repro sweep all --no-cache
+    axi-pack-repro profile spmv --system pack --scale small --top 25
     axi-pack-repro cache --clear
 
 ``--timing-only`` selects ``DataPolicy.ELIDE``: the simulated datapath moves
@@ -103,6 +104,35 @@ def _build_parser() -> argparse.ArgumentParser:
     wl_parser.add_argument("--no-verify", action="store_true",
                            help="skip checking results against references")
     _add_orchestration_options(wl_parser, cache_default=False)
+
+    profile_parser = subparsers.add_parser(
+        "profile",
+        help="cProfile one simulation grid point and print the hot functions",
+    )
+    from repro.workloads.registry import WORKLOADS
+
+    profile_parser.add_argument("workload", choices=sorted(WORKLOADS),
+                                help="workload to simulate")
+    profile_parser.add_argument("--system", choices=["base", "pack", "ideal"],
+                                default="pack", help="evaluation system")
+    profile_parser.add_argument("--scale", choices=sorted(SCALES), default="small",
+                                help="problem scale (sets the workload size)")
+    profile_parser.add_argument("--memory", choices=["sram", "dram"],
+                                default="sram",
+                                help="memory class (latency 1 or 100 cycles)")
+    profile_parser.add_argument("--policy", choices=["full", "elide"],
+                                default="full", help="data policy")
+    profile_parser.add_argument("--datapath", choices=["batch", "scalar"],
+                                default=None,
+                                help="datapath mode (default: "
+                                     "$REPRO_SIM_DATAPATH or batch)")
+    profile_parser.add_argument("--top", type=int, default=25, metavar="N",
+                                help="number of functions to report")
+    profile_parser.add_argument("--sort", choices=["cumulative", "tottime"],
+                                default="cumulative", help="pstats sort key")
+    profile_parser.add_argument("--json", action="store_true",
+                                help="machine-readable JSON instead of the "
+                                     "pstats table")
 
     cache_parser = subparsers.add_parser(
         "cache", help="inspect or clear the result cache"
@@ -252,6 +282,95 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """cProfile a single grid point: the one-command "where does time go"."""
+    import cProfile
+    import io
+    import json
+    import os
+    import pstats
+    import time
+
+    from repro.analysis.headline import (
+        MEMORY_LATENCY,
+        point_system_config,
+        workload_spec_kwargs,
+    )
+    from repro.axi.transaction import reset_txn_ids
+    from repro.orchestrate.spec import WorkloadSpec
+    from repro.sim.datapath import DATAPATH_ENV, resolve_datapath_mode
+    from repro.system.config import SystemKind
+    from repro.system.soc import build_system
+
+    spec_kwargs = workload_spec_kwargs(args.workload, args.scale)
+    latency = MEMORY_LATENCY[args.memory]
+    datapath = resolve_datapath_mode(args.datapath)
+    saved = os.environ.get(DATAPATH_ENV)
+    os.environ[DATAPATH_ENV] = datapath.value
+    try:
+        reset_txn_ids()
+        instance = WorkloadSpec.create(args.workload, **spec_kwargs).build()
+        config = point_system_config(
+            SystemKind(args.system), latency, args.policy
+        )
+        soc = build_system(config)
+        instance.initialize(soc.storage)
+        program = instance.build_program(config.lowering, config.vector_config())
+        profiler = cProfile.Profile()
+        start = time.perf_counter()
+        profiler.enable()
+        cycles, _result = soc.run_program(program)
+        profiler.disable()
+        wall = time.perf_counter() - start
+    finally:
+        if saved is None:
+            os.environ.pop(DATAPATH_ENV, None)
+        else:
+            os.environ[DATAPATH_ENV] = saved
+
+    stats = pstats.Stats(profiler)
+    if args.json:
+        sort_index = {"cumulative": 3, "tottime": 2}[args.sort]
+        rows = []
+        for (filename, line, func), (cc, nc, tottime, cumtime, _callers) in (
+            stats.stats.items()  # type: ignore[attr-defined]
+        ):
+            rows.append({
+                "function": func,
+                "file": filename,
+                "line": line,
+                "ncalls": nc,
+                "primitive_calls": cc,
+                "tottime_s": round(tottime, 6),
+                "cumtime_s": round(cumtime, 6),
+            })
+        key = "cumtime_s" if sort_index == 3 else "tottime_s"
+        rows.sort(key=lambda row: row[key], reverse=True)
+        print(json.dumps({
+            "workload": args.workload,
+            "system": args.system,
+            "scale": args.scale,
+            "memory": args.memory,
+            "policy": args.policy,
+            "datapath": datapath.value,
+            "cycles": cycles,
+            "wall_s": round(wall, 6),
+            "cycles_per_sec": round(cycles / wall, 1) if wall > 0 else None,
+            "top": rows[: args.top],
+        }, indent=2))
+        return 0
+    print(f"profiled {args.workload}/{args.system}/{args.memory} at "
+          f"scale={args.scale} policy={args.policy} "
+          f"datapath={datapath.value}: {cycles} cycles in {wall:.3f}s "
+          f"({cycles / wall:,.0f} cycles/sec)")
+    buffer = io.StringIO()
+    pstats.Stats(profiler, stream=buffer).sort_stats(args.sort).print_stats(
+        args.top
+    )
+    print(buffer.getvalue())
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     import json
 
@@ -287,6 +406,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "workloads":
         return _cmd_workloads(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "cache":
         return _cmd_cache(args)
     parser.print_help()

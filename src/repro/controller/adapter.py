@@ -34,6 +34,7 @@ from repro.controller.strided_write import StridedWriteConverter
 from repro.errors import ProtocolError
 from repro.mem.banked import BankedMemory
 from repro.sim.component import IDLE, Component, WakeHint
+from repro.sim.datapath import DatapathMode
 from repro.sim.policy import DataPolicy
 from repro.sim.stats import StatsRegistry
 
@@ -49,6 +50,7 @@ class AxiPackAdapter(Component):
         config: Optional[AdapterConfig] = None,
         stats: Optional[StatsRegistry] = None,
         data_policy: DataPolicy = DataPolicy.FULL,
+        datapath: Optional[DatapathMode] = None,
     ) -> None:
         super().__init__(name)
         self.port = port
@@ -71,8 +73,10 @@ class AxiPackAdapter(Component):
             )
         self.stats = stats if stats is not None else StatsRegistry()
         self.ctx = AdapterContext(
-            self.config, self.stats, data_policy=data_policy, storage=memory.storage
+            self.config, self.stats, data_policy=data_policy,
+            storage=memory.storage, datapath=datapath,
         )
+        self.datapath = self.ctx.datapath
         self.r_monitor = ChannelMonitor("R", self.config.bus_bytes)
         self.w_monitor = ChannelMonitor("W", self.config.bus_bytes)
 
@@ -100,21 +104,74 @@ class AxiPackAdapter(Component):
             for converter in self.converters
             if type(converter).pop_ready_b_beat is not Converter.pop_ready_b_beat
         ]
+        # Prebound per-converter scan tables, derived from the converters
+        # themselves (see Converter.unissued_deques/r_beat_deques/
+        # b_beat_deques) so they can never desynchronize from the converter
+        # list.  Reading the deques' truth values directly is behaviourally
+        # identical to the has_unissued()/busy()/pop_ready_*() scans (a pop
+        # attempt with nothing ready is a side-effect-free None) but avoids
+        # two method calls per converter per cycle.
+        #: unissued-slot deques, in self.converters order
+        self._conv_unissued: List[Tuple] = [
+            converter.unissued_deques() for converter in self.converters
+        ]
+        #: R-emission table aligned to self.converters: None for converters
+        #: that can never emit an R beat, else (pop_ready_r_beat, deques)
+        self._conv_r_emitters: List[Optional[Tuple]] = [
+            None
+            if converter.r_beat_deques() is None
+            else (converter.pop_ready_r_beat, converter.r_beat_deques())
+            for converter in self.converters
+        ]
+        #: B-emission table: (pop_ready_b_beat, deques) per write converter.
+        #: Fail fast at construction if a converter overrides
+        #: pop_ready_b_beat without exposing its gating containers — a None
+        #: here would otherwise only surface mid-simulation.
+        self._conv_b_emitters: List[Tuple] = []
+        for converter in self._write_converters:
+            b_deques = converter.b_beat_deques()
+            if b_deques is None:
+                raise ProtocolError(
+                    f"{converter.name} overrides pop_ready_b_beat but "
+                    "b_beat_deques() returned None; write-capable converters "
+                    "must expose their B-gating containers"
+                )
+            self._conv_b_emitters.append((converter.pop_ready_b_beat, b_deques))
+        #: (prebound step, active-burst deque) for the stepping converters
+        self._stepping_info: List[Tuple] = [
+            (converter.step, converter._bursts) for converter in self._stepping
+        ]
         #: write converters in AW-acceptance order still owed W beats
         self._w_routing: Deque[Tuple[Converter, int]] = deque()
         self._issue_rr = 0
         self._emit_rr = 0
         self._last_tick: Optional[int] = None
         self._outstanding_words = 0  #: word accesses issued, responses pending
+        #: accepted read bursts whose final (last) R beat is still pending —
+        #: gates the R emission scan on cycles with nothing to emit
+        self._open_read_bursts = 0
+        #: accepted write bursts whose B response is still pending
+        self._open_write_bursts = 0
         #: whether any word port could accept a request at the end of the
         #: last tick's issue phase — the state every slept-through cycle
         #: observes (see the rotation replay in :meth:`tick`)
         self._ports_free_after_issue = True
-        # Prebound hot-path counters (see repro.sim.stats).
+        # Prebound hot-path containers and counters (see repro.sim.stats).
+        self._request_queues = memory.request_queues
+        self._response_queues = memory.response_queues
+        self._ar = port.ar
+        self._aw = port.aw
+        self._w = port.w
+        self._r = port.r
+        self._b = port.b
+        self._issue_buffer: List = []  #: reused per-cycle word-request list
         self._c_word_requests = self.stats.counter("adapter.word_requests")
         self._c_r_beats = self.stats.counter("adapter.r_beats")
         self._c_r_useful = self.stats.counter("adapter.r_useful_bytes")
         self._c_w_beats = self.stats.counter("adapter.w_beats")
+        self._c_ar_accepted = self.stats.counter("adapter.ar_accepted")
+        self._c_aw_accepted = self.stats.counter("adapter.aw_accepted")
+        self._c_b_beats = self.stats.counter("adapter.b_beats")
 
     # ------------------------------------------------------------ conversion
     def _read_converter_for(self, request: BusRequest) -> Converter:
@@ -150,16 +207,22 @@ class AxiPackAdapter(Component):
                 skipped = cycle - self._last_tick - 1
                 self._issue_rr = (self._issue_rr + skipped) % len(self.converters)
         self._last_tick = cycle
-        self._route_memory_responses()
-        for converter in self._stepping:
+        if self._outstanding_words:
+            self._route_memory_responses()
+        for step, bursts in self._stepping_info:
             # Only the indirect converters do per-cycle housekeeping (index
-            # extraction, planning); the others' step is a no-op.
-            converter.step(cycle)
+            # extraction, planning); the others' step is a no-op, and an
+            # indirect converter with no active burst has nothing to do.
+            if bursts:
+                step(cycle)
         self._demux_requests()
-        self._route_w_data()
+        if self._w_routing:
+            self._route_w_data()
         self._issue_word_requests()
-        self._emit_r_beat()
-        self._emit_b_beat()
+        if self._open_read_bursts:
+            self._emit_r_beat()
+        if self._open_write_bursts:
+            self._emit_b_beat()
         # Every state transition of the adapter and its converters is driven
         # by queue events it is subscribed to: bursts arrive on AR/AW/W,
         # word responses arrive on the memory response queues, back-pressure
@@ -174,42 +237,54 @@ class AxiPackAdapter(Component):
 
     # -------------------------------------------------------------- responses
     def _route_memory_responses(self) -> None:
-        if not self._outstanding_words:
-            return
-        for queue in self.memory.response_queues:
-            if not queue._storage:
+        outstanding = self._outstanding_words
+        for queue in self._response_queues:
+            storage = queue._storage
+            if not storage:
                 continue
-            response = queue.pop()
+            # Inlined DecoupledQueue.pop (one response per port per cycle).
+            queue.total_popped += 1
+            queue._count -= 1
+            engine = queue._engine
+            if engine is not None:
+                engine._activity += 1
+                if not queue._touched:
+                    queue._touched = True
+                    engine._touched_queues.append(queue)
+            response = storage.popleft()
             pipe, state, slot = response.tag
             if response.is_write:
                 pipe.take_ack(state, slot)
             else:
                 pipe.take_response(state, slot, response.data)
-            self._outstanding_words -= 1
+            outstanding -= 1
+        self._outstanding_words = outstanding
 
     # ---------------------------------------------------------------- demux
     def _demux_requests(self) -> None:
-        ar = self.port.ar
+        ar = self._ar
         if ar._storage:
             request = ar._storage[0]
             converter = self._read_converter_for(request)
             if converter.can_accept_read(request):
                 converter.accept_read(ar.pop())
-                self.stats.add("adapter.ar_accepted")
-        aw = self.port.aw
+                self._open_read_bursts += 1
+                self._c_ar_accepted.value += 1
+        aw = self._aw
         if aw._storage:
             request = aw._storage[0]
             converter = self._write_converter_for(request)
             if converter.can_accept_write(request):
                 converter.accept_write(aw.pop())
                 self._w_routing.append((converter, request.num_beats))
-                self.stats.add("adapter.aw_accepted")
+                self._open_write_bursts += 1
+                self._c_aw_accepted.value += 1
 
     def _route_w_data(self) -> None:
-        if not self._w_routing or not self.port.w._storage:
+        if not self._w_routing or not self._w._storage:
             return
         converter, beats_left = self._w_routing[0]
-        beat = self.port.w.pop()
+        beat = self._w.pop()
         converter.take_w_beat(beat.data)
         self.w_monitor.record_beat(beat.useful_bytes)
         self._c_w_beats.value += 1
@@ -220,47 +295,67 @@ class AxiPackAdapter(Component):
 
     # ----------------------------------------------------------------- issue
     def _issue_word_requests(self) -> None:
-        queues = self.memory.request_queues
+        queues = self._request_queues
         converters = self.converters
+        conv_unissued = self._conv_unissued
         count = len(converters)
-        bus_words = self.config.bus_words
-        for converter in converters:
-            if converter.has_unissued():
+        # A converter has work iff one of its pipes' unissued deques is
+        # non-empty; `dqs[0] or dqs[-1]` covers both the one- and two-pipe
+        # tuples without a loop.
+        for dqs in conv_unissued:
+            if dqs[0] or dqs[-1]:
                 break
         else:
             # Nothing to issue: the seed engine still rotated the round-robin
             # pointer whenever at least one word port was free.
-            for port in range(bus_words):
-                if queues[port].can_push():
+            for queue in queues:
+                if queue._count < queue.depth:
                     self._issue_rr = (self._issue_rr + 1) % count
                     self._ports_free_after_issue = True
                     return
             self._ports_free_after_issue = False
             return
-        free_ports: Set[int] = {
-            port for port in range(bus_words) if queues[port].can_push()
-        }
+        free_ports: Set[int] = set()
+        for port, queue in enumerate(queues):
+            if queue._count < queue.depth:
+                free_ports.add(port)
         self._ports_free_after_issue = bool(free_ports)
         if not free_ports:
             return
-        requests: List = []
+        requests = self._issue_buffer
+        rr = self._issue_rr
         for offset in range(count):
-            converter = converters[(self._issue_rr + offset) % count]
+            index = rr + offset
+            if index >= count:
+                index -= count
+            dqs = conv_unissued[index]
             # An idle converter has no slots to issue; skip the call.
-            if converter.has_unissued():
-                converter.issue(free_ports, requests)
+            if dqs[0] or dqs[-1]:
+                converters[index].issue(free_ports, requests)
                 if not free_ports:
                     break
-        self._issue_rr = (self._issue_rr + 1) % count
+        self._issue_rr = (rr + 1) % count
         if requests:
             self._outstanding_words += len(requests)
             self._c_word_requests.value += len(requests)
             for request in requests:
-                queues[request.port].push(request)
+                # Inlined DecoupledQueue.push; space is guaranteed because
+                # ports leave free_ports the moment their queue fills.
+                queue = queues[request.port]
+                queue._incoming.append(request)
+                queue._count += 1
+                queue.total_pushed += 1
+                engine = queue._engine
+                if engine is not None:
+                    engine._activity += 1
+                    if not queue._touched:
+                        queue._touched = True
+                        engine._touched_queues.append(queue)
+            del requests[:]
             # This tick's pushes may have filled the last free port; slept
             # cycles must observe the post-push occupancy.
-            for port in range(bus_words):
-                if queues[port].can_push():
+            for queue in queues:
+                if queue._count < queue.depth:
                     self._ports_free_after_issue = True
                     break
             else:
@@ -268,35 +363,52 @@ class AxiPackAdapter(Component):
 
     # ------------------------------------------------------------------ emit
     def _emit_r_beat(self) -> None:
-        r = self.port.r
+        r = self._r
         if r._count >= r.depth:
             return
-        converters = self.converters
-        count = len(converters)
+        emitters = self._conv_r_emitters
+        count = len(emitters)
+        rr = self._emit_rr
         for offset in range(count):
-            converter = converters[(self._emit_rr + offset) % count]
-            if not converter.busy():
+            index = rr + offset
+            if index >= count:
+                index -= count
+            emitter = emitters[index]
+            if emitter is None:
+                # Write-only converter: can never produce an R beat.
                 continue
-            beat = converter.pop_ready_r_beat()
+            for beats in emitter[1]:
+                if beats:
+                    break
+            else:
+                continue
+            beat = emitter[0]()
             if beat is not None:
-                self.port.r.push(beat)
-                self.r_monitor.record_beat(beat.useful_bytes)
+                r.push(beat)
+                useful = beat.useful_bytes
+                self.r_monitor.record_beat(useful)
                 self._c_r_beats.value += 1
-                self._c_r_useful.value += beat.useful_bytes
-                self._emit_rr = (self._emit_rr + 1) % count
+                self._c_r_useful.value += useful
+                self._emit_rr = (rr + 1) % count
+                if beat.last:
+                    self._open_read_bursts -= 1
                 return
 
     def _emit_b_beat(self) -> None:
-        b = self.port.b
+        b = self._b
         if b._count >= b.depth:
             return
-        for converter in self._write_converters:
-            if not converter.busy():
+        for pop_b, deques in self._conv_b_emitters:
+            for container in deques:
+                if container:
+                    break
+            else:
                 continue
-            beat = converter.pop_ready_b_beat()
+            beat = pop_b()
             if beat is not None:
-                self.port.b.push(beat)
-                self.stats.add("adapter.b_beats")
+                b.push(beat)
+                self._open_write_bursts -= 1
+                self._c_b_beats.value += 1
                 return
 
     # ----------------------------------------------------------------- state
@@ -316,4 +428,6 @@ class AxiPackAdapter(Component):
         self._emit_rr = 0
         self._last_tick = None
         self._outstanding_words = 0
+        self._open_read_bursts = 0
+        self._open_write_bursts = 0
         self._ports_free_after_issue = True

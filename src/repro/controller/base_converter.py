@@ -15,6 +15,12 @@ from repro.axi.signals import BBeat, RBeat
 from repro.axi.transaction import BusRequest
 from repro.controller.context import AdapterContext
 from repro.controller.converter import Converter
+from repro.controller.lanes import (
+    LaneReadPipe,
+    LaneWritePipe,
+    batch_contiguous,
+    batch_narrow,
+)
 from repro.controller.pipes import ReadPipe, WritePipe
 from repro.controller.planners import plan_contiguous_beats, plan_narrow_beats
 from repro.mem.words import WordRequest
@@ -28,10 +34,16 @@ class BaseAxi4Converter(Converter):
 
     def __init__(self, name: str, ctx: AdapterContext) -> None:
         super().__init__(name, ctx)
-        self._reads = ReadPipe(f"{name}.read", ctx.config, ctx.stats, ctx.data_policy)
-        self._writes = WritePipe(f"{name}.write", ctx.config, ctx.stats, ctx.data_policy)
+        self._batch = ctx.datapath.is_batch
+        read_cls = LaneReadPipe if self._batch else ReadPipe
+        write_cls = LaneWritePipe if self._batch else WritePipe
+        self._reads = read_cls(f"{name}.read", ctx.config, ctx.stats, ctx.data_policy)
+        self._writes = write_cls(f"{name}.write", ctx.config, ctx.stats, ctx.data_policy)
         self._read_seq = 0
         self._write_seq = 0
+        # Prebound hot-path counters (see repro.sim.stats).
+        self._c_read_bursts = ctx.stats.counter("controller.base.read_bursts")
+        self._c_write_bursts = ctx.stats.counter("controller.base.write_bursts")
 
     # ------------------------------------------------------------ acceptance
     def can_accept_read(self, request: BusRequest) -> bool:
@@ -40,16 +52,20 @@ class BaseAxi4Converter(Converter):
         return self._reads.pending_beats() + request.num_beats <= _MAX_PENDING_READ_BEATS
 
     def accept_read(self, request: BusRequest) -> None:
-        planner = plan_contiguous_beats if request.contiguous else plan_narrow_beats
-        plans = planner(
-            request,
-            self.ctx.config.word_bytes,
-            self.ctx.config.bus_words,
-            self._read_seq,
-        )
+        config = self.ctx.config
+        if self._batch:
+            kernel = batch_contiguous if request.contiguous else batch_narrow
+            self._reads.accept(
+                request, kernel(request, config.word_bytes, config.bus_words)
+            )
+        else:
+            planner = plan_contiguous_beats if request.contiguous else plan_narrow_beats
+            plans = planner(
+                request, config.word_bytes, config.bus_words, self._read_seq
+            )
+            self._reads.accept(request, plans)
         self._read_seq += 1
-        self._reads.accept(request, plans)
-        self.ctx.stats.add("controller.base.read_bursts")
+        self._c_read_bursts.value += 1
 
     def can_accept_write(self, request: BusRequest) -> bool:
         if request.is_packed:
@@ -57,16 +73,20 @@ class BaseAxi4Converter(Converter):
         return len(self._writes._bursts) < self.ctx.config.max_pipelined_bursts
 
     def accept_write(self, request: BusRequest) -> None:
-        planner = plan_contiguous_beats if request.contiguous else plan_narrow_beats
-        plans = planner(
-            request,
-            self.ctx.config.word_bytes,
-            self.ctx.config.bus_words,
-            self._write_seq,
-        )
+        config = self.ctx.config
+        if self._batch:
+            kernel = batch_contiguous if request.contiguous else batch_narrow
+            self._writes.accept(
+                request, kernel(request, config.word_bytes, config.bus_words)
+            )
+        else:
+            planner = plan_contiguous_beats if request.contiguous else plan_narrow_beats
+            plans = planner(
+                request, config.word_bytes, config.bus_words, self._write_seq
+            )
+            self._writes.accept(request, iter(plans))
         self._write_seq += 1
-        self._writes.accept(request, iter(plans))
-        self.ctx.stats.add("controller.base.write_bursts")
+        self._c_write_bursts.value += 1
 
     def take_w_beat(self, payload: bytes) -> None:
         self._writes.take_w_beat(payload)
@@ -78,6 +98,15 @@ class BaseAxi4Converter(Converter):
 
     def has_unissued(self) -> bool:
         return bool(self._reads._unissued) or bool(self._writes._unissued)
+
+    def unissued_deques(self):
+        return (self._reads._unissued, self._writes._unissued)
+
+    def r_beat_deques(self):
+        return (self._reads._beats,)
+
+    def b_beat_deques(self):
+        return (self._writes._bursts, self._writes._beats)
 
     def pop_ready_r_beat(self) -> Optional[RBeat]:
         return self._reads.pop_ready_r_beat()

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import ConfigurationError
+from repro.sim.datapath import DatapathMode, resolve_datapath_mode
 from repro.sim.policy import DataPolicy
 from repro.sim.stats import StatsRegistry
 from repro.utils.bitutils import is_power_of_two
@@ -66,6 +67,12 @@ class AdapterContext:
     and, under ``ELIDE``, a handle to the backing storage so the indirect
     converters can resolve index values functionally (address-forming data
     still determines timing) while all payload movement is skipped.
+
+    ``datapath`` selects the converter pipes' representation (see
+    :mod:`repro.sim.datapath`): ``BATCH`` plans with the struct-of-arrays
+    numpy lane kernels, ``SCALAR`` with the seed per-object planners.  Both
+    produce bit-identical cycles and statistics; ``None`` resolves the
+    ``$REPRO_SIM_DATAPATH`` environment default.
     """
 
     def __init__(
@@ -74,11 +81,13 @@ class AdapterContext:
         stats: Optional[StatsRegistry] = None,
         data_policy: DataPolicy = DataPolicy.FULL,
         storage=None,
+        datapath: Optional[DatapathMode] = None,
     ) -> None:
         self.config = config
         self.stats = stats if stats is not None else StatsRegistry()
         self.data_policy = data_policy
         self.storage = storage
+        self.datapath = resolve_datapath_mode(datapath)
         self._in_flight = [0] * config.bus_words
 
     # ----------------------------------------------------------- regulation

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import abc
-from typing import List, Optional, Set
+from typing import List, Optional, Set, Tuple
 
 from repro.axi.signals import BBeat, RBeat
 from repro.axi.transaction import BusRequest
@@ -62,6 +62,28 @@ class Converter(abc.ABC):
         conservative (True); converters override it with the exact check.
         """
         return True
+
+    # --------------------------------------------------- adapter fast tables
+    #
+    # The adapter prebinds per-converter container tuples at construction so
+    # its per-cycle scans read deque truth values instead of paying method
+    # calls.  Converters expose their hot containers through the hooks below
+    # (the returned deques must be stable objects: cleared in place on
+    # reset, never reassigned).
+
+    def unissued_deques(self) -> Tuple:
+        """Stable containers that are non-empty iff :meth:`has_unissued`."""
+        raise NotImplementedError(f"{self.name} does not expose issue state")
+
+    def r_beat_deques(self) -> Optional[Tuple]:
+        """Containers gating :meth:`pop_ready_r_beat`, or None if the
+        converter can never emit an R beat."""
+        return None
+
+    def b_beat_deques(self) -> Optional[Tuple]:
+        """Containers gating :meth:`pop_ready_b_beat`, or None if the
+        converter can never emit a B response."""
+        return None
 
     def pop_ready_r_beat(self) -> Optional[RBeat]:
         """Return a packed R beat if one is ready for the bus."""

@@ -26,6 +26,11 @@ from repro.axi.signals import RBeat
 from repro.axi.transaction import BusRequest
 from repro.controller.context import AdapterContext
 from repro.controller.converter import Converter
+from repro.controller.lanes import (
+    LaneReadPipe,
+    batch_index_fetch,
+    batch_indexed_beat,
+)
 from repro.controller.pipes import ReadPipe
 from repro.controller.planners import plan_index_fetch_beats, plan_indexed_beat
 from repro.errors import SimulationError
@@ -72,12 +77,48 @@ def index_line_values(active, plan, data, request: BusRequest,
     return np.frombuffer(data, dtype=dtype)
 
 
+def index_line_values_batch(active, useful_bytes: int, data, request: BusRequest,
+                            elide: bool) -> list:
+    """Batch-datapath twin of :func:`index_line_values`: plain int list.
+
+    The lane pipes report a completed line as ``(useful_bytes, data,
+    request)`` rather than a plan object; the decoded values are returned as
+    a Python list so the element planner slices them without per-element
+    ``int()`` boxing.
+    """
+    if elide:
+        count = useful_bytes // request.pack.index_bytes
+        values = active.index_oracle[active.oracle_pos : active.oracle_pos + count]
+        active.oracle_pos += count
+        return values.tolist()
+    dtype = _INDEX_DTYPES[request.pack.index_bytes]
+    return np.frombuffer(data, dtype=dtype).tolist()
+
+
 class _ActiveIndirectRead:
-    """Per-burst progress of the two-stage indirect read."""
+    """Per-burst progress of the two-stage indirect read.
+
+    The scalar datapath buffers extracted indices in ``index_buffer`` (a
+    deque popped one element at a time); the batch datapath appends decoded
+    lines to ``index_list`` and consumes them by slice via ``index_pos``.
+    """
+
+    __slots__ = (
+        "request",
+        "index_buffer",
+        "index_list",
+        "index_pos",
+        "elements_planned",
+        "next_beat",
+        "index_oracle",
+        "oracle_pos",
+    )
 
     def __init__(self, request: BusRequest) -> None:
         self.request = request
         self.index_buffer: Deque[int] = deque()
+        self.index_list: List[int] = []
+        self.index_pos = 0
         self.elements_planned = 0
         self.next_beat = 0
         self.index_oracle: Optional[np.ndarray] = None  #: ELIDE only
@@ -94,15 +135,20 @@ class IndirectReadConverter(Converter):
     def __init__(self, name: str, ctx: AdapterContext) -> None:
         super().__init__(name, ctx)
         self._elide = ctx.data_policy.elides_data
-        self._index_pipe = ReadPipe(
+        self._batch = ctx.datapath.is_batch
+        pipe_cls = LaneReadPipe if self._batch else ReadPipe
+        self._index_pipe = pipe_cls(
             f"{name}.index", ctx.config, ctx.stats, ctx.data_policy
         )
-        self._element_pipe = ReadPipe(
+        self._element_pipe = pipe_cls(
             f"{name}.element", ctx.config, ctx.stats, ctx.data_policy
         )
         self._bursts: Deque[_ActiveIndirectRead] = deque()
         self._by_txn: Dict[int, _ActiveIndirectRead] = {}
         self._seq = 0
+        # Prebound hot-path counters (see repro.sim.stats).
+        self._c_bursts = ctx.stats.counter("controller.indirect_read.bursts")
+        self._c_index_lines = ctx.stats.counter("controller.indirect_read.index_lines")
 
     # ------------------------------------------------------------ acceptance
     def can_accept_read(self, request: BusRequest) -> bool:
@@ -117,24 +163,33 @@ class IndirectReadConverter(Converter):
         self._bursts.append(active)
         self._by_txn[request.txn_id] = active
         config = self.ctx.config
-        index_plans = plan_index_fetch_beats(
-            index_base=request.index_base,
-            num_indices=request.num_elements,
-            index_bytes=request.pack.index_bytes,
-            bus_bytes=config.bus_bytes,
-            word_bytes=config.word_bytes,
-            bus_words=config.bus_words,
-            txn_id=request.txn_id,
-            burst_seq=self._seq,
-        )
+        if self._batch:
+            index_plans = batch_index_fetch(
+                request, config.bus_bytes, config.word_bytes, config.bus_words
+            )
+        else:
+            index_plans = plan_index_fetch_beats(
+                index_base=request.index_base,
+                num_indices=request.num_elements,
+                index_bytes=request.pack.index_bytes,
+                bus_bytes=config.bus_bytes,
+                word_bytes=config.word_bytes,
+                bus_words=config.bus_words,
+                txn_id=request.txn_id,
+                burst_seq=self._seq,
+            )
         self._seq += 1
         self._index_pipe.accept(request, index_plans)
-        self.ctx.stats.add("controller.indirect_read.bursts")
+        self._c_bursts.value += 1
 
     # ----------------------------------------------------------------- cycle
     def step(self, cycle: int) -> None:
-        self._extract_indices()
-        self._plan_element_beats()
+        if self._batch:
+            self._extract_indices_batch()
+            self._plan_element_beats_batch()
+        else:
+            self._extract_indices()
+            self._plan_element_beats()
 
     def _extract_indices(self) -> None:
         """Offsets extraction: turn returned index lines into index values."""
@@ -147,7 +202,23 @@ class IndirectReadConverter(Converter):
             if active is not None:
                 values = index_line_values(active, plan, data, request, self._elide)
                 active.index_buffer.extend(int(i) for i in values)
-            self.ctx.stats.add("controller.indirect_read.index_lines")
+            self._c_index_lines.value += 1
+
+    def _extract_indices_batch(self) -> None:
+        """Batch-datapath index extraction: decode whole lines into lists."""
+        pipe = self._index_pipe
+        elide = self._elide
+        while True:
+            ready = pipe.pop_ready_beat()
+            if ready is None:
+                return
+            useful, data, request = ready
+            active = self._by_txn.get(request.txn_id)
+            if active is not None:
+                active.index_list.extend(
+                    index_line_values_batch(active, useful, data, request, elide)
+                )
+            self._c_index_lines.value += 1
 
     def _plan_element_beats(self) -> None:
         """Element request generation for the oldest incompletely planned burst."""
@@ -175,6 +246,36 @@ class IndirectReadConverter(Converter):
                 active.next_beat += 1
             return  # keep burst order: never plan burst k+1 before k is done
 
+    def _plan_element_beats_batch(self) -> None:
+        """Element planning over the list-backed index buffer (batch mode)."""
+        config = self.ctx.config
+        word_bytes = config.word_bytes
+        bus_words = config.bus_words
+        for active in self._bursts:
+            if active.fully_planned:
+                continue
+            request = active.request
+            elems_per_beat = request.bus_bytes // request.elem_bytes
+            index_list = active.index_list
+            pipe = self._element_pipe
+            while not active.fully_planned:
+                remaining = request.num_elements - active.elements_planned
+                beat_elems = min(elems_per_beat, remaining)
+                pos = active.index_pos
+                if len(index_list) - pos < beat_elems:
+                    return  # wait for more indices before planning further
+                offsets = index_list[pos : pos + beat_elems]
+                active.index_pos = pos + beat_elems
+                pipe.add_batch(
+                    request,
+                    batch_indexed_beat(
+                        request, active.next_beat, offsets, word_bytes, bus_words
+                    ),
+                )
+                active.elements_planned += beat_elems
+                active.next_beat += 1
+            return  # keep burst order: never plan burst k+1 before k is done
+
     def issue(self, free_ports: Set[int], out: List[WordRequest]) -> None:
         # Element fetches have priority; index fetches use the leftover ports.
         self._element_pipe.issue(free_ports, out)
@@ -182,6 +283,12 @@ class IndirectReadConverter(Converter):
 
     def has_unissued(self) -> bool:
         return bool(self._element_pipe._unissued) or bool(self._index_pipe._unissued)
+
+    def unissued_deques(self):
+        return (self._element_pipe._unissued, self._index_pipe._unissued)
+
+    def r_beat_deques(self):
+        return (self._element_pipe._beats,)
 
     def pop_ready_r_beat(self) -> Optional[RBeat]:
         beat = self._element_pipe.pop_ready_r_beat()

@@ -17,19 +17,49 @@ from repro.axi.signals import BBeat
 from repro.axi.transaction import BusRequest
 from repro.controller.context import AdapterContext
 from repro.controller.converter import Converter
-from repro.controller.indirect_read import index_line_values, read_index_oracle
+from repro.controller.indirect_read import (
+    index_line_values,
+    index_line_values_batch,
+    read_index_oracle,
+)
+from repro.controller.lanes import (
+    LaneReadPipe,
+    LaneWritePipe,
+    batch_index_fetch,
+    batch_indexed_beat,
+)
 from repro.controller.pipes import ReadPipe, WritePipe
 from repro.controller.planners import plan_index_fetch_beats, plan_indexed_beat
 from repro.mem.words import WordRequest
 
 
 class _ActiveIndirectWrite:
-    """Per-burst progress of the two-stage indirect write."""
+    """Per-burst progress of the two-stage indirect write.
+
+    Like the read side, the scalar datapath pops indices one at a time from
+    ``index_buffer`` while the batch datapath slices ``index_list`` via
+    ``index_pos``.
+    """
+
+    __slots__ = (
+        "request",
+        "wpipe_burst",
+        "index_buffer",
+        "index_list",
+        "index_pos",
+        "payloads",
+        "elements_planned",
+        "next_beat",
+        "index_oracle",
+        "oracle_pos",
+    )
 
     def __init__(self, request: BusRequest, wpipe_burst) -> None:
         self.request = request
         self.wpipe_burst = wpipe_burst
         self.index_buffer: Deque[int] = deque()
+        self.index_list: List[int] = []
+        self.index_pos = 0
         self.payloads: Deque[bytes] = deque()
         self.elements_planned = 0
         self.next_beat = 0
@@ -47,15 +77,19 @@ class IndirectWriteConverter(Converter):
     def __init__(self, name: str, ctx: AdapterContext) -> None:
         super().__init__(name, ctx)
         self._elide = ctx.data_policy.elides_data
-        self._index_pipe = ReadPipe(
+        self._batch = ctx.datapath.is_batch
+        self._index_pipe = (LaneReadPipe if self._batch else ReadPipe)(
             f"{name}.index", ctx.config, ctx.stats, ctx.data_policy
         )
-        self._write_pipe = WritePipe(
+        self._write_pipe = (LaneWritePipe if self._batch else WritePipe)(
             f"{name}.element", ctx.config, ctx.stats, ctx.data_policy
         )
         self._bursts: Deque[_ActiveIndirectWrite] = deque()
         self._by_txn: Dict[int, _ActiveIndirectWrite] = {}
         self._seq = 0
+        # Prebound hot-path counters (see repro.sim.stats).
+        self._c_bursts = ctx.stats.counter("controller.indirect_write.bursts")
+        self._c_index_lines = ctx.stats.counter("controller.indirect_write.index_lines")
 
     # ------------------------------------------------------------ acceptance
     def can_accept_write(self, request: BusRequest) -> bool:
@@ -64,26 +98,34 @@ class IndirectWriteConverter(Converter):
         return len(self._bursts) < self.ctx.config.max_pipelined_bursts
 
     def accept_write(self, request: BusRequest) -> None:
-        wpipe_burst = self._write_pipe.accept(request, planner=None)
+        if self._batch:
+            wpipe_burst = self._write_pipe.accept(request, None)
+        else:
+            wpipe_burst = self._write_pipe.accept(request, planner=None)
         active = _ActiveIndirectWrite(request, wpipe_burst)
         if self._elide:
             active.index_oracle = read_index_oracle(self.ctx, request)
         self._bursts.append(active)
         self._by_txn[request.txn_id] = active
         config = self.ctx.config
-        index_plans = plan_index_fetch_beats(
-            index_base=request.index_base,
-            num_indices=request.num_elements,
-            index_bytes=request.pack.index_bytes,
-            bus_bytes=config.bus_bytes,
-            word_bytes=config.word_bytes,
-            bus_words=config.bus_words,
-            txn_id=request.txn_id,
-            burst_seq=self._seq,
-        )
+        if self._batch:
+            index_plans = batch_index_fetch(
+                request, config.bus_bytes, config.word_bytes, config.bus_words
+            )
+        else:
+            index_plans = plan_index_fetch_beats(
+                index_base=request.index_base,
+                num_indices=request.num_elements,
+                index_bytes=request.pack.index_bytes,
+                bus_bytes=config.bus_bytes,
+                word_bytes=config.word_bytes,
+                bus_words=config.bus_words,
+                txn_id=request.txn_id,
+                burst_seq=self._seq,
+            )
         self._seq += 1
         self._index_pipe.accept(request, index_plans)
-        self.ctx.stats.add("controller.indirect_write.bursts")
+        self._c_bursts.value += 1
 
     def take_w_beat(self, payload: bytes) -> None:
         burst = self._write_pipe.take_w_beat(payload)
@@ -97,8 +139,12 @@ class IndirectWriteConverter(Converter):
 
     # ----------------------------------------------------------------- cycle
     def step(self, cycle: int) -> None:
-        self._extract_indices()
-        self._plan_write_beats()
+        if self._batch:
+            self._extract_indices_batch()
+            self._plan_write_beats_batch()
+        else:
+            self._extract_indices()
+            self._plan_write_beats()
 
     def _extract_indices(self) -> None:
         while True:
@@ -110,7 +156,22 @@ class IndirectWriteConverter(Converter):
             if active is not None:
                 values = index_line_values(active, plan, data, request, self._elide)
                 active.index_buffer.extend(int(i) for i in values)
-            self.ctx.stats.add("controller.indirect_write.index_lines")
+            self._c_index_lines.value += 1
+
+    def _extract_indices_batch(self) -> None:
+        pipe = self._index_pipe
+        elide = self._elide
+        while True:
+            ready = pipe.pop_ready_beat()
+            if ready is None:
+                return
+            useful, data, request = ready
+            active = self._by_txn.get(request.txn_id)
+            if active is not None:
+                active.index_list.extend(
+                    index_line_values_batch(active, useful, data, request, elide)
+                )
+            self._c_index_lines.value += 1
 
     def _plan_write_beats(self) -> None:
         for active in self._bursts:
@@ -138,12 +199,49 @@ class IndirectWriteConverter(Converter):
                 active.next_beat += 1
             return
 
+    def _plan_write_beats_batch(self) -> None:
+        config = self.ctx.config
+        word_bytes = config.word_bytes
+        bus_words = config.bus_words
+        for active in self._bursts:
+            if active.fully_planned:
+                continue
+            request = active.request
+            elems_per_beat = request.bus_bytes // request.elem_bytes
+            index_list = active.index_list
+            pipe = self._write_pipe
+            while not active.fully_planned:
+                remaining = request.num_elements - active.elements_planned
+                beat_elems = min(elems_per_beat, remaining)
+                pos = active.index_pos
+                if len(index_list) - pos < beat_elems or not active.payloads:
+                    return
+                offsets = index_list[pos : pos + beat_elems]
+                active.index_pos = pos + beat_elems
+                payload = active.payloads.popleft()
+                pipe.add_beat_batch(
+                    batch_indexed_beat(
+                        request, active.next_beat, offsets, word_bytes, bus_words
+                    ),
+                    payload,
+                    active.wpipe_burst,
+                )
+                active.elements_planned += beat_elems
+                active.next_beat += 1
+            return
+
     def issue(self, free_ports: Set[int], out: List[WordRequest]) -> None:
         self._write_pipe.issue(free_ports, out)
         self._index_pipe.issue(free_ports, out)
 
     def has_unissued(self) -> bool:
         return bool(self._write_pipe._unissued) or bool(self._index_pipe._unissued)
+
+    def unissued_deques(self):
+        return (self._write_pipe._unissued, self._index_pipe._unissued)
+
+    def b_beat_deques(self):
+        return (self._write_pipe._bursts, self._write_pipe._beats)
 
     def pop_ready_b_beat(self) -> Optional[BBeat]:
         beat = self._write_pipe.pop_ready_b_beat()

@@ -1,0 +1,811 @@
+"""Struct-of-arrays lane buffers and numpy plan kernels (batch datapath).
+
+This is the :data:`~repro.sim.datapath.DatapathMode.BATCH` implementation of
+the converter pipes.  Where the scalar datapath builds one
+:class:`~repro.controller.plans.BeatPlan` object per beat holding one
+:class:`~repro.controller.plans.WordSlot` object per word access, the batch
+datapath plans a whole burst (or, for the indirect element stage, a whole
+beat) in one vectorized numpy kernel and stores the result as a
+:class:`SlotBatch`: flat parallel arrays of ports, word addresses, payload
+offsets, byte counts and shifts, converted once to plain Python lists so the
+per-cycle issue/response loops index integers instead of dereferencing
+objects.
+
+Equivalence contract
+--------------------
+The slot sequence of a :class:`SlotBatch` is *defined* to be exactly the
+concatenated ``plan.slots`` of the scalar planners in
+:mod:`repro.controller.planners`, in beat order — same ports, same word
+addresses, same payload offsets, same issue order, same regulator
+interaction.  ``tests/test_datapath_parity.py`` pins this property directly
+(kernel vs generator output) and end to end (identical cycle counts and
+statistics through the full testbench and SoC grids).
+
+Payload movement under ``DataPolicy.FULL`` intentionally stays scalar: the
+per-beat byte scatter/gather of :meth:`LaneReadPipe.take_response` and
+:meth:`LaneWritePipe.issue` is the same slice-assignment the scalar pipes
+perform, just indexed through the flat arrays.  Only the *geometry* work
+(planning, issue bookkeeping, completion tracking) is batched.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.axi.signals import BBeat, RBeat
+from repro.axi.transaction import BusRequest
+from repro.controller.context import AdapterConfig
+from repro.controller.pipes import _ActiveWriteBurst
+from repro.controller.regulator import RequestRegulator
+from repro.errors import ProtocolError, SimulationError
+from repro.mem.words import WordRequest
+from repro.sim.policy import DataPolicy
+from repro.sim.stats import StatsRegistry
+
+
+class SlotBatch:
+    """All word accesses of one planning unit, as parallel flat arrays.
+
+    A batch covers a whole burst (contiguous/narrow/strided planning, index
+    fetches) or a single beat (indirect element planning, where indices
+    arrive incrementally).  The flat arrays are plain Python lists of ints
+    (converted from the numpy kernel output once) because the per-cycle
+    loops index single elements, which is faster on lists than on arrays.
+    """
+
+    __slots__ = (
+        "ports",
+        "words",
+        "offsets",
+        "nbytes",
+        "shifts",
+        "beat_of",
+        "beat_start",
+        "beat_useful",
+        "beat_last",
+        "beat_remaining",
+        "beat_acks",
+        "beat_data",
+        "beat_payload",
+        "num_beats",
+        "num_slots",
+        "all_full_words",
+    )
+
+    def __init__(
+        self,
+        ports: List[int],
+        words: List[int],
+        offsets: List[int],
+        nbytes: List[int],
+        shifts: List[int],
+        beat_of: List[int],
+        beat_start: List[int],
+        beat_useful: List[int],
+        beat_last: List[bool],
+        all_full_words: bool,
+    ) -> None:
+        self.ports = ports
+        self.words = words
+        self.offsets = offsets
+        self.nbytes = nbytes
+        self.shifts = shifts
+        self.beat_of = beat_of
+        self.beat_start = beat_start  #: slot-index prefix, len num_beats + 1
+        self.beat_useful = beat_useful
+        self.beat_last = beat_last
+        self.num_beats = len(beat_useful)
+        self.num_slots = len(ports)
+        #: per-beat outstanding word count (reads) / unissued+unacked (writes)
+        self.beat_remaining = [
+            b - a for a, b in zip(beat_start, beat_start[1:])
+        ]
+        self.beat_acks: Optional[List[int]] = None  #: write pipes only
+        self.beat_data: Optional[List[bytearray]] = None  #: FULL reads only
+        self.beat_payload: Optional[List[Optional[bytes]]] = None  #: writes
+        self.all_full_words = all_full_words
+
+    def alloc_read_buffers(self) -> None:
+        """Allocate per-beat payload assembly buffers (FULL policy reads)."""
+        self.beat_data = [bytearray(useful) for useful in self.beat_useful]
+
+    def init_write_state(self) -> None:
+        """Switch the per-beat counters to write-pipe semantics."""
+        # For writes ``beat_remaining`` counts unissued slots and
+        # ``beat_acks`` counts issued-but-unacknowledged ones; a beat is
+        # complete when both reach zero (mirrors WriteBeatState.complete).
+        self.beat_acks = [0] * self.num_beats
+        self.beat_payload = [None] * self.num_beats
+
+
+# --------------------------------------------------------------------------
+# numpy plan kernels
+#
+# Each kernel is the vectorized twin of one generator planner in
+# repro.controller.planners and produces the identical flat slot sequence.
+# --------------------------------------------------------------------------
+
+
+def _batch_from_ranges(
+    starts: List[int],
+    ends: List[int],
+    word_bytes: int,
+    bus_words: int,
+    beat_useful: List[int],
+    beat_last: List[bool],
+) -> SlotBatch:
+    """Split per-beat byte ranges at word boundaries into a slot batch.
+
+    ``starts[k] .. ends[k]`` is beat *k*'s absolute byte range; payload
+    offsets restart at zero for every beat, exactly like the scalar
+    contiguous/narrow/index-fetch planners.  Word-aligned ranges (the
+    overwhelmingly common case) take a fast path built entirely from
+    C-level ``range``/``extend`` operations; misaligned edges fall back to
+    the generic splitter.
+    """
+    ports: List[int] = []
+    words: List[int] = []
+    offsets: List[int] = []
+    nbytes: List[int] = []
+    shifts: List[int] = []
+    beat_of: List[int] = []
+    n_beats = len(beat_useful)
+    beat_start = [0] * (n_beats + 1)
+    aligned = True
+    for k in range(n_beats):
+        start = starts[k]
+        end = ends[k]
+        if start % word_bytes == 0 and end % word_bytes == 0:
+            count = (end - start) // word_bytes
+            first = start // word_bytes
+            word_range = range(first, first + count)
+            words.extend(word_range)
+            ports.extend(w % bus_words for w in word_range)
+            offsets.extend(range(0, count * word_bytes, word_bytes))
+            nbytes.extend([word_bytes] * count)
+            shifts.extend([0] * count)
+            beat_of.extend([k] * count)
+        else:
+            aligned = False
+            addr = start
+            while addr < end:
+                word, shift = divmod(addr, word_bytes)
+                seg = word_bytes - shift
+                left = end - addr
+                if seg > left:
+                    seg = left
+                ports.append(word % bus_words)
+                words.append(word)
+                offsets.append(addr - start)
+                nbytes.append(seg)
+                shifts.append(shift)
+                beat_of.append(k)
+                addr += seg
+        beat_start[k + 1] = len(words)
+    return SlotBatch(
+        ports=ports,
+        words=words,
+        offsets=offsets,
+        nbytes=nbytes,
+        shifts=shifts,
+        beat_of=beat_of,
+        beat_start=beat_start,
+        beat_useful=beat_useful,
+        beat_last=beat_last,
+        all_full_words=aligned,
+    )
+
+
+def batch_contiguous(
+    request: BusRequest, word_bytes: int, bus_words: int
+) -> SlotBatch:
+    """Batch twin of :func:`~repro.controller.planners.plan_contiguous_beats`."""
+    num_beats = request.num_beats
+    addr = request.addr
+    bus_bytes = request.bus_bytes
+    payload_end = addr + request.payload_bytes
+    line0 = (addr // bus_bytes) * bus_bytes
+    starts = []
+    ends = []
+    line = line0
+    for _ in range(num_beats):
+        starts.append(addr if addr > line else line)
+        line += bus_bytes
+        ends.append(payload_end if payload_end < line else line)
+    beat_useful = [e - s for s, e in zip(starts, ends)]
+    beat_last = [False] * num_beats
+    beat_last[-1] = True
+    return _batch_from_ranges(starts, ends, word_bytes, bus_words,
+                              beat_useful, beat_last)
+
+
+def batch_narrow(
+    request: BusRequest, word_bytes: int, bus_words: int
+) -> SlotBatch:
+    """Batch twin of :func:`~repro.controller.planners.plan_narrow_beats`."""
+    num_beats = request.num_beats
+    elem_bytes = request.elem_bytes
+    addr = request.addr
+    beat_last = [False] * num_beats
+    beat_last[-1] = True
+    if elem_bytes == word_bytes and addr % word_bytes == 0:
+        # One full-word slot per beat: every array is a C-level construction.
+        first = addr // word_bytes
+        word_range = range(first, first + num_beats)
+        return SlotBatch(
+            ports=[w % bus_words for w in word_range],
+            words=list(word_range),
+            offsets=[0] * num_beats,
+            nbytes=[word_bytes] * num_beats,
+            shifts=[0] * num_beats,
+            beat_of=list(range(num_beats)),
+            beat_start=list(range(num_beats + 1)),
+            beat_useful=[elem_bytes] * num_beats,
+            beat_last=beat_last,
+            all_full_words=True,
+        )
+    starts = [addr + k * elem_bytes for k in range(num_beats)]
+    ends = [s + elem_bytes for s in starts]
+    return _batch_from_ranges(starts, ends, word_bytes, bus_words,
+                              [elem_bytes] * num_beats, beat_last)
+
+
+def batch_index_fetch(
+    request: BusRequest,
+    bus_bytes: int,
+    word_bytes: int,
+    bus_words: int,
+) -> SlotBatch:
+    """Batch twin of :func:`~repro.controller.planners.plan_index_fetch_beats`."""
+    index_base = request.index_base
+    total_bytes = request.num_elements * request.pack.index_bytes
+    num_lines = -(-(index_base % bus_bytes + total_bytes) // bus_bytes)
+    line_base = (index_base // bus_bytes) * bus_bytes
+    total_end = index_base + total_bytes
+    starts = []
+    ends = []
+    line = line_base
+    for _ in range(num_lines):
+        starts.append(index_base if index_base > line else line)
+        line += bus_bytes
+        ends.append(total_end if total_end < line else line)
+    beat_last = [False] * num_lines
+    beat_last[-1] = True
+    return _batch_from_ranges(starts, ends, word_bytes, bus_words,
+                              [e - s for s, e in zip(starts, ends)], beat_last)
+
+
+def _packed_element_batch(
+    element_addrs: np.ndarray,
+    locals_: np.ndarray,
+    beat_of_elem: np.ndarray,
+    beat_useful: List[int],
+    beat_last: List[bool],
+    elem_bytes: int,
+    word_bytes: int,
+    bus_words: int,
+) -> SlotBatch:
+    """Expand word-aligned packed elements into a slot batch.
+
+    Mirrors :func:`~repro.controller.planners._element_word_slots` over every
+    element at once: element ``e`` contributes ``elem_bytes // word_bytes``
+    full-word slots on lanes ``(local(e) * wpe + w) % bus_words``.
+    """
+    if elem_bytes % word_bytes != 0:
+        raise ProtocolError(
+            f"element size {elem_bytes}B must be a multiple of the "
+            f"{word_bytes}B bank word for packed handling"
+        )
+    misaligned = element_addrs % word_bytes
+    if misaligned.any():
+        bad = int(element_addrs[np.argmax(misaligned != 0)])
+        raise ProtocolError(
+            f"packed element address {bad:#x} is not word aligned"
+        )
+    wpe = elem_bytes // word_bytes
+    word_steps = np.arange(wpe, dtype=np.int64)
+    words = (element_addrs[:, None] + word_steps * word_bytes) // word_bytes
+    ports = (locals_[:, None] * wpe + word_steps) % bus_words
+    offsets = locals_[:, None] * elem_bytes + word_steps * word_bytes
+    n_beats = len(beat_useful)
+    counts = np.bincount(beat_of_elem, minlength=n_beats) * wpe
+    beat_start = [0] * (n_beats + 1)
+    running = 0
+    for k, count in enumerate(counts.tolist()):
+        running += count
+        beat_start[k + 1] = running
+    total = element_addrs.size * wpe
+    return SlotBatch(
+        ports=ports.ravel().tolist(),
+        words=words.ravel().tolist(),
+        offsets=offsets.ravel().tolist(),
+        nbytes=[word_bytes] * total,
+        shifts=[0] * total,
+        beat_of=np.repeat(beat_of_elem, wpe).tolist(),
+        beat_start=beat_start,
+        beat_useful=beat_useful,
+        beat_last=beat_last,
+        all_full_words=True,
+    )
+
+
+def batch_strided(
+    request: BusRequest, word_bytes: int, bus_words: int
+) -> SlotBatch:
+    """Batch twin of :func:`~repro.controller.planners.plan_strided_beats`."""
+    elem_bytes = request.elem_bytes
+    stride_bytes = request.pack.stride_elems * elem_bytes
+    num_elements = request.num_elements
+    elems_per_beat = request.bus_bytes // elem_bytes
+    num_beats = request.num_beats
+    beat_useful = [
+        (min(num_elements, (k + 1) * elems_per_beat) - k * elems_per_beat)
+        * elem_bytes
+        for k in range(num_beats)
+    ]
+    beat_last = [False] * num_beats
+    beat_last[-1] = True
+    addr = request.addr
+    if (
+        elem_bytes == word_bytes
+        and addr % word_bytes == 0
+        and stride_bytes % word_bytes == 0
+    ):
+        # Word-sized aligned elements: one slot per element, cyclic lane and
+        # offset patterns, everything built from C-level list operations.
+        word_stride = stride_bytes // word_bytes
+        first = addr // word_bytes
+        if word_stride:
+            words = list(
+                range(first, first + num_elements * word_stride, word_stride)
+            )
+        else:
+            words = [first] * num_elements
+        lane_pattern = [local % bus_words for local in range(elems_per_beat)]
+        offset_pattern = list(range(0, elems_per_beat * elem_bytes, elem_bytes))
+        beat_of: List[int] = []
+        for k in range(num_beats):
+            beat_of.extend([k] * (beat_useful[k] // elem_bytes))
+        return SlotBatch(
+            ports=(lane_pattern * num_beats)[:num_elements],
+            words=words,
+            offsets=(offset_pattern * num_beats)[:num_elements],
+            nbytes=[word_bytes] * num_elements,
+            shifts=[0] * num_elements,
+            beat_of=beat_of,
+            beat_start=[
+                min(num_elements, k * elems_per_beat)
+                for k in range(num_beats + 1)
+            ],
+            beat_useful=beat_useful,
+            beat_last=beat_last,
+            all_full_words=True,
+        )
+    elems = np.arange(num_elements, dtype=np.int64)
+    return _packed_element_batch(
+        element_addrs=addr + elems * stride_bytes,
+        locals_=elems % elems_per_beat,
+        beat_of_elem=elems // elems_per_beat,
+        beat_useful=beat_useful,
+        beat_last=beat_last,
+        elem_bytes=elem_bytes,
+        word_bytes=word_bytes,
+        bus_words=bus_words,
+    )
+
+
+def batch_indexed_beat(
+    request: BusRequest,
+    beat: int,
+    element_offsets: Sequence[int],
+    word_bytes: int,
+    bus_words: int,
+) -> SlotBatch:
+    """Vectorized twin of :func:`~repro.controller.planners.plan_indexed_beat`.
+
+    One single-beat batch per call, because the indirect converters only
+    learn a beat's indices once its index-line fetches complete.  The common
+    word-sized-element case takes a scalar fast path: for a handful of
+    elements plain list arithmetic beats the numpy call overhead.
+    """
+    elem_bytes = request.elem_bytes
+    count = len(element_offsets)
+    useful = [count * elem_bytes]
+    last = [beat == request.num_beats - 1]
+    if elem_bytes == word_bytes:
+        addr = request.addr
+        words = []
+        bad = -1
+        for index in element_offsets:
+            byte_addr = addr + index * elem_bytes
+            word, rem = divmod(byte_addr, word_bytes)
+            if rem:
+                bad = byte_addr
+                break
+            words.append(word)
+        if bad < 0:
+            return SlotBatch(
+                ports=[local % bus_words for local in range(count)],
+                words=words,
+                offsets=list(range(0, count * elem_bytes, elem_bytes)),
+                nbytes=[word_bytes] * count,
+                shifts=[0] * count,
+                beat_of=[0] * count,
+                beat_start=[0, count],
+                beat_useful=useful,
+                beat_last=last,
+                all_full_words=True,
+            )
+        raise ProtocolError(
+            f"packed element address {bad:#x} is not word aligned"
+        )
+    offsets = np.asarray(element_offsets, dtype=np.int64)
+    return _packed_element_batch(
+        element_addrs=request.addr + offsets * elem_bytes,
+        locals_=np.arange(count, dtype=np.int64),
+        beat_of_elem=np.zeros(count, dtype=np.int64),
+        beat_useful=useful,
+        beat_last=last,
+        elem_bytes=elem_bytes,
+        word_bytes=word_bytes,
+        bus_words=bus_words,
+    )
+
+
+# --------------------------------------------------------------------------
+# lane pipes
+# --------------------------------------------------------------------------
+
+
+class LaneReadPipe:
+    """Batch-datapath twin of :class:`~repro.controller.pipes.ReadPipe`.
+
+    Issue, regulation, completion and emission follow the scalar pipe's
+    discipline slot for slot; the difference is purely representational
+    (flat arrays + integer cursors instead of per-object dispatch).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        config: AdapterConfig,
+        stats: StatsRegistry,
+        data_policy: DataPolicy = DataPolicy.FULL,
+    ) -> None:
+        self.name = name
+        self.config = config
+        self.stats = stats
+        self._elide = data_policy.elides_data
+        self.regulator = RequestRegulator(config.bus_words, config.queue_depth)
+        #: (batch, beat index, request) in plan order, oldest first
+        self._beats: Deque[Tuple[SlotBatch, int, BusRequest]] = deque()
+        #: batches with unissued slots, oldest first: [batch, flat cursor]
+        self._unissued: Deque[List] = deque()
+        self._accepted_bursts = 0
+
+    # -------------------------------------------------------------- planning
+    def add_batch(self, request: BusRequest, batch: SlotBatch) -> None:
+        """Queue one planned slot batch belonging to ``request``."""
+        if not self._elide:
+            batch.alloc_read_buffers()
+        beats = self._beats
+        for k in range(batch.num_beats):
+            beats.append((batch, k, request))
+        if batch.num_slots:
+            self._unissued.append([batch, 0])
+
+    def accept(self, request: BusRequest, batch: SlotBatch) -> None:
+        """Accept a burst whose beats are fully described by ``batch``."""
+        self._accepted_bursts += 1
+        self.add_batch(request, batch)
+
+    # --------------------------------------------------------------- issuing
+    def issue(self, free_ports: Set[int], out: List[WordRequest]) -> None:
+        """Issue word reads in order, using only ``free_ports``.
+
+        Same in-order discipline as the scalar pipe: stop at the first slot
+        whose port is unavailable or regulator-blocked.
+        """
+        unissued = self._unissued
+        regulator = self.regulator
+        in_flight = regulator._in_flight
+        limit = regulator.limit
+        while unissued:
+            entry = unissued[0]
+            batch = entry[0]
+            ports = batch.ports
+            words = batch.words
+            i = entry[1]
+            end = batch.num_slots
+            while i < end:
+                port = ports[i]
+                if port not in free_ports or in_flight[port] >= limit:
+                    entry[1] = i
+                    return
+                free_ports.discard(port)
+                in_flight[port] += 1
+                out.append(
+                    WordRequest(
+                        port=port,
+                        word_addr=words[i],
+                        is_write=False,
+                        tag=(self, batch, i),
+                    )
+                )
+                i += 1
+            unissued.popleft()
+
+    def has_unissued(self) -> bool:
+        """True if any planned word read has not been issued yet (O(1))."""
+        return bool(self._unissued)
+
+    # ------------------------------------------------------------- responses
+    def take_response(self, batch: SlotBatch, i: int, data: bytes) -> None:
+        """Deliver one returned word to its beat (hot path)."""
+        beat = batch.beat_of[i]
+        buffers = batch.beat_data
+        if buffers is not None:
+            shift = batch.shifts[i]
+            nbytes = batch.nbytes[i]
+            buffers[beat][
+                batch.offsets[i] : batch.offsets[i] + nbytes
+            ] = data[shift : shift + nbytes]
+        batch.beat_remaining[beat] -= 1
+        in_flight = self.regulator._in_flight
+        port = batch.ports[i]
+        if in_flight[port] <= 0:
+            raise SimulationError(f"regulator underflow on port {port}")
+        in_flight[port] -= 1
+
+    def _check_issued(self, batch: SlotBatch, k: int) -> None:
+        """Same consistency guard as the scalar pipe: a beat with word
+        accesses cannot complete before all of them were issued."""
+        unissued = self._unissued
+        if (
+            unissued
+            and unissued[0][0] is batch
+            and unissued[0][1] < batch.beat_start[k + 1]
+        ):
+            raise SimulationError(
+                f"{self.name}: beat completed before all slots were issued"
+            )
+
+    # --------------------------------------------------------------- packing
+    def pop_ready_beat(self) -> Optional[Tuple[int, bytes, BusRequest]]:
+        """Return ``(useful_bytes, data, request)`` for the oldest beat if
+        complete, removing it from the pipe."""
+        beats = self._beats
+        if not beats:
+            return None
+        batch, k, request = beats[0]
+        if batch.beat_remaining[k]:
+            return None
+        beats.popleft()
+        self._check_issued(batch, k)
+        buffers = batch.beat_data
+        # The assembly buffer is complete and never written again, so it is
+        # handed out without a defensive copy.
+        data = b"" if buffers is None else buffers[k]
+        return batch.beat_useful[k], data, request
+
+    def pop_ready_r_beat(self) -> Optional[RBeat]:
+        """Like :meth:`pop_ready_beat` but wrapped as an R-channel beat."""
+        beats = self._beats
+        if not beats:
+            return None
+        batch, k, request = beats[0]
+        if batch.beat_remaining[k]:
+            return None
+        beats.popleft()
+        self._check_issued(batch, k)
+        buffers = batch.beat_data
+        # Complete and never written again — no defensive copy.
+        data = b"" if buffers is None else buffers[k]
+        return RBeat(
+            txn_id=request.txn_id,
+            data=data,
+            useful_bytes=batch.beat_useful[k],
+            last=batch.beat_last[k],
+        )
+
+    # ------------------------------------------------------------------ state
+    def busy(self) -> bool:
+        """True while any beat is pending issue, in flight or awaiting packing."""
+        return bool(self._beats)
+
+    def pending_beats(self) -> int:
+        """Number of beats currently tracked by the pipe."""
+        return len(self._beats)
+
+    def reset(self) -> None:
+        """Drop all state (component reset)."""
+        self._beats.clear()
+        self._unissued.clear()
+        self.regulator.reset()
+
+
+class LaneWritePipe:
+    """Batch-datapath twin of :class:`~repro.controller.pipes.WritePipe`.
+
+    Planner-driven bursts (strided / contiguous / narrow) carry one
+    whole-burst :class:`SlotBatch` built at acceptance; each beat is *armed*
+    when its W data arrives, which is when its slot range joins the issue
+    queue — the same point the scalar pipe materializes the beat's plan.
+    Indirect bursts pass ``batch=None`` and add armed single-beat batches
+    explicitly once indices and payload are both known.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        config: AdapterConfig,
+        stats: StatsRegistry,
+        data_policy: DataPolicy = DataPolicy.FULL,
+    ) -> None:
+        self.name = name
+        self.config = config
+        self.stats = stats
+        self._elide = data_policy.elides_data
+        self.regulator = RequestRegulator(config.bus_words, config.queue_depth)
+        self._bursts: Deque[_ActiveWriteBurst] = deque()
+        #: (batch, beat index, burst) in arming order, oldest first
+        self._beats: Deque[Tuple[SlotBatch, int, _ActiveWriteBurst]] = deque()
+        #: armed beats with unissued slots: [batch, cursor, end, beat index]
+        self._unissued: Deque[List] = deque()
+        #: whole-burst batches of planner-driven bursts, by burst identity
+        self._burst_batches: dict = {}
+
+    # -------------------------------------------------------------- planning
+    def accept(
+        self, request: BusRequest, batch: Optional[SlotBatch]
+    ) -> _ActiveWriteBurst:
+        """Accept a write burst; ``batch`` covers it fully or is None."""
+        burst = _ActiveWriteBurst(request, planner=None)
+        self._bursts.append(burst)
+        if batch is not None:
+            batch.init_write_state()
+            self._burst_batches[id(burst)] = batch
+        return burst
+
+    def expecting_w_data(self) -> bool:
+        """True if some accepted burst still waits for W beats."""
+        return any(not burst.all_w_received for burst in self._bursts)
+
+    def take_w_beat(self, payload: bytes) -> Optional[_ActiveWriteBurst]:
+        """Deliver one W data beat to the oldest burst still expecting data."""
+        for burst in self._bursts:
+            if not burst.all_w_received:
+                beat = burst.w_beats_received
+                burst.w_beats_received = beat + 1
+                batch = self._burst_batches.get(id(burst))
+                if batch is not None:
+                    self._arm_beat(batch, beat, payload, burst)
+                return burst
+        return None
+
+    def add_beat_batch(
+        self, batch: SlotBatch, payload: bytes, burst: _ActiveWriteBurst
+    ) -> None:
+        """Queue one explicitly planned single-beat batch (indirect writes)."""
+        batch.init_write_state()
+        self._arm_beat(batch, 0, payload, burst)
+
+    def _arm_beat(
+        self, batch: SlotBatch, beat: int, payload: bytes, burst: _ActiveWriteBurst
+    ) -> None:
+        if not self._elide:
+            batch.beat_payload[beat] = bytes(payload)
+        self._beats.append((batch, beat, burst))
+        start = batch.beat_start[beat]
+        end = batch.beat_start[beat + 1]
+        if end > start:
+            self._unissued.append([batch, start, end, beat])
+
+    # --------------------------------------------------------------- issuing
+    def issue(self, free_ports: Set[int], out: List[WordRequest]) -> None:
+        """Issue word writes in order, using only ``free_ports``."""
+        unissued = self._unissued
+        regulator = self.regulator
+        in_flight = regulator._in_flight
+        limit = regulator.limit
+        word_bytes = self.config.word_bytes
+        while unissued:
+            entry = unissued[0]
+            batch = entry[0]
+            ports = batch.ports
+            words = batch.words
+            offsets = batch.offsets
+            i = entry[1]
+            end = entry[2]
+            beat = entry[3]
+            payload = None if batch.beat_payload is None else batch.beat_payload[beat]
+            check_partial = not batch.all_full_words
+            remaining = batch.beat_remaining
+            acks = batch.beat_acks
+            while i < end:
+                port = ports[i]
+                if port not in free_ports or in_flight[port] >= limit:
+                    entry[1] = i
+                    return
+                if check_partial and (
+                    batch.nbytes[i] != word_bytes or batch.shifts[i] != 0
+                ):
+                    # Same geometry guard (and message) as the scalar pipe,
+                    # raised when the offending slot reaches the issue stage.
+                    raise SimulationError(
+                        f"{self.name}: partial-word write at word "
+                        f"{words[i]:#x} — the model requires word-aligned "
+                        "write payloads"
+                    )
+                free_ports.discard(port)
+                in_flight[port] += 1
+                if payload is None:
+                    data = None
+                else:
+                    offset = offsets[i]
+                    data = payload[offset : offset + word_bytes]
+                out.append(
+                    WordRequest(
+                        port=port,
+                        word_addr=words[i],
+                        is_write=True,
+                        data=data,
+                        tag=(self, batch, i),
+                    )
+                )
+                remaining[beat] -= 1
+                acks[beat] += 1
+                i += 1
+            unissued.popleft()
+
+    def has_unissued(self) -> bool:
+        """True if any planned word write has not been issued yet (O(1))."""
+        return bool(self._unissued)
+
+    # ------------------------------------------------------------- responses
+    def take_ack(self, batch: SlotBatch, i: int) -> None:
+        """Deliver one word-write acknowledgement."""
+        batch.beat_acks[batch.beat_of[i]] -= 1
+        in_flight = self.regulator._in_flight
+        port = batch.ports[i]
+        if in_flight[port] <= 0:
+            raise SimulationError(f"regulator underflow on port {port}")
+        in_flight[port] -= 1
+
+    # -------------------------------------------------------------- emission
+    def pop_ready_b_beat(self) -> Optional[BBeat]:
+        """Return a B beat once the oldest burst's writes are all complete."""
+        self._retire_completed_beats()
+        if not self._bursts:
+            return None
+        burst = self._bursts[0]
+        if burst.all_w_received and burst.complete:
+            self._bursts.popleft()
+            self._burst_batches.pop(id(burst), None)
+            return BBeat(txn_id=burst.request.txn_id)
+        return None
+
+    def _retire_completed_beats(self) -> None:
+        beats = self._beats
+        while beats:
+            batch, beat, burst = beats[0]
+            if batch.beat_remaining[beat] or batch.beat_acks[beat]:
+                break
+            beats.popleft()
+            burst.beats_completed += 1
+
+    # ------------------------------------------------------------------ state
+    def busy(self) -> bool:
+        """True while any burst or beat is still in progress."""
+        return bool(self._bursts) or bool(self._beats)
+
+    def reset(self) -> None:
+        """Drop all state (component reset)."""
+        self._bursts.clear()
+        self._beats.clear()
+        self._unissued.clear()
+        self._burst_batches.clear()
+        self.regulator.reset()

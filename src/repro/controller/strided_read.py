@@ -16,6 +16,7 @@ from repro.axi.signals import RBeat
 from repro.axi.transaction import BusRequest
 from repro.controller.context import AdapterContext
 from repro.controller.converter import Converter
+from repro.controller.lanes import LaneReadPipe, batch_strided
 from repro.controller.pipes import ReadPipe
 from repro.controller.planners import plan_strided_beats
 from repro.mem.words import WordRequest
@@ -29,8 +30,11 @@ class StridedReadConverter(Converter):
 
     def __init__(self, name: str, ctx: AdapterContext) -> None:
         super().__init__(name, ctx)
-        self._pipe = ReadPipe(name, ctx.config, ctx.stats, ctx.data_policy)
+        self._batch = ctx.datapath.is_batch
+        pipe_cls = LaneReadPipe if self._batch else ReadPipe
+        self._pipe = pipe_cls(name, ctx.config, ctx.stats, ctx.data_policy)
         self._seq = 0
+        self._c_bursts = ctx.stats.counter("controller.strided_read.bursts")
 
     def can_accept_read(self, request: BusRequest) -> bool:
         if request.mode is not PackMode.STRIDED or request.is_write:
@@ -38,21 +42,28 @@ class StridedReadConverter(Converter):
         return self._pipe.pending_beats() + request.num_beats <= _MAX_PENDING_BEATS
 
     def accept_read(self, request: BusRequest) -> None:
-        plans = plan_strided_beats(
-            request,
-            self.ctx.config.word_bytes,
-            self.ctx.config.bus_words,
-            self._seq,
-        )
+        config = self.ctx.config
+        if self._batch:
+            plans = batch_strided(request, config.word_bytes, config.bus_words)
+        else:
+            plans = plan_strided_beats(
+                request, config.word_bytes, config.bus_words, self._seq
+            )
         self._seq += 1
         self._pipe.accept(request, plans)
-        self.ctx.stats.add("controller.strided_read.bursts")
+        self._c_bursts.value += 1
 
     def issue(self, free_ports: Set[int], out: List[WordRequest]) -> None:
         self._pipe.issue(free_ports, out)
 
     def has_unissued(self) -> bool:
         return bool(self._pipe._unissued)
+
+    def unissued_deques(self):
+        return (self._pipe._unissued,)
+
+    def r_beat_deques(self):
+        return (self._pipe._beats,)
 
     def pop_ready_r_beat(self) -> Optional[RBeat]:
         return self._pipe.pop_ready_r_beat()

@@ -14,6 +14,7 @@ from repro.axi.signals import BBeat
 from repro.axi.transaction import BusRequest
 from repro.controller.context import AdapterContext
 from repro.controller.converter import Converter
+from repro.controller.lanes import LaneWritePipe, batch_strided
 from repro.controller.pipes import WritePipe
 from repro.controller.planners import plan_strided_beats
 from repro.mem.words import WordRequest
@@ -24,7 +25,10 @@ class StridedWriteConverter(Converter):
 
     def __init__(self, name: str, ctx: AdapterContext) -> None:
         super().__init__(name, ctx)
-        self._pipe = WritePipe(name, ctx.config, ctx.stats, ctx.data_policy)
+        self._batch = ctx.datapath.is_batch
+        pipe_cls = LaneWritePipe if self._batch else WritePipe
+        self._pipe = pipe_cls(name, ctx.config, ctx.stats, ctx.data_policy)
+        self._c_bursts = ctx.stats.counter("controller.strided_write.bursts")
 
     def can_accept_write(self, request: BusRequest) -> bool:
         if request.mode is not PackMode.STRIDED or not request.is_write:
@@ -32,14 +36,17 @@ class StridedWriteConverter(Converter):
         return len(self._pipe._bursts) < self.ctx.config.max_pipelined_bursts
 
     def accept_write(self, request: BusRequest) -> None:
-        plans = plan_strided_beats(
-            request,
-            self.ctx.config.word_bytes,
-            self.ctx.config.bus_words,
-            burst_seq=0,
-        )
-        self._pipe.accept(request, iter(plans))
-        self.ctx.stats.add("controller.strided_write.bursts")
+        config = self.ctx.config
+        if self._batch:
+            self._pipe.accept(
+                request, batch_strided(request, config.word_bytes, config.bus_words)
+            )
+        else:
+            plans = plan_strided_beats(
+                request, config.word_bytes, config.bus_words, burst_seq=0
+            )
+            self._pipe.accept(request, iter(plans))
+        self._c_bursts.value += 1
 
     def take_w_beat(self, payload: bytes) -> None:
         self._pipe.take_w_beat(payload)
@@ -49,6 +56,12 @@ class StridedWriteConverter(Converter):
 
     def has_unissued(self) -> bool:
         return bool(self._pipe._unissued)
+
+    def unissued_deques(self):
+        return (self._pipe._unissued,)
+
+    def b_beat_deques(self):
+        return (self._pipe._bursts, self._pipe._beats)
 
     def pop_ready_b_beat(self) -> Optional[BBeat]:
         return self._pipe.pop_ready_b_beat()

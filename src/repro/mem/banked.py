@@ -8,17 +8,20 @@ the same cycle, all but one stall — those stalls are the bank conflicts that
 limit the utilization curves of Fig. 5.
 
 Arbitration is *batched*: every cycle the head-of-line requests of all ports
-are gathered, their banks computed in one vectorized
-``BankAddressMap.banks_of_words`` call (no per-request modulo/`decompose`
-math), and winners picked per bank from the precomputed bank list.  The
-grants are exactly those of the scalar reference arbiter: per bank, the
-claimant with the smallest ``(port - last_grant - 1) % num_ports`` wins (all
-claimants win under ``conflict_free``), and since each port contributes at
-most one request per cycle, per-port state is independent of the order banks
-are resolved in.  A fully array-side selection (lexsort on ``(bank, rotated
-priority)`` plus first-of-run masking) computes the same winners but was
-measured slower for batches bounded by ``num_ports``; the property test in
-``tests/test_data_policy.py`` pins the equivalence of the two formulations.
+are gathered into claim lists, their banks computed in one pass, and winners
+picked per bank from the precomputed bank list.  The grants are exactly
+those of the scalar reference arbiter: per bank, the claimant with the
+smallest ``(port - last_grant - 1) % num_ports`` wins (all claimants win
+under ``conflict_free``), and since each port contributes at most one
+request per cycle, per-port state is independent of the order banks are
+resolved in.  Array-side formulations (``BankAddressMap.banks_of_words``
+over the claim words, or a full lexsort on ``(bank, rotated priority)`` plus
+first-of-run masking) compute the same winners but were measured slower
+than plain modulo over claim lists bounded by ``num_ports``; the property
+test in ``tests/test_data_policy.py`` pins the equivalence.  Granted
+requests double as their own responses (FULL reads deposit the word into
+the request's ``data`` field), and response delivery advances the engine's
+activity counter by the exact batch size per port.
 """
 
 from __future__ import annotations
@@ -26,8 +29,6 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, List, Optional, Tuple
-
-import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.mem.storage import MemoryStorage
@@ -108,7 +109,15 @@ class BankedMemory(Component):
         self._in_flight: List[Deque[Tuple[int, WordResponse]]] = [
             deque() for _ in range(config.num_ports)
         ]
+        self._flight_count = 0  #: total in-flight accesses across all ports
+        #: prebound (request queue, in-flight deque) per port for the
+        #: gather scan (both containers are stable across reset)
+        self._port_pairs = list(zip(self.request_queues, self._in_flight))
         self._bank_last_grant: List[int] = [config.num_ports - 1] * config.num_banks
+        #: writable view of the memory image for single-word accesses — the
+        #: FULL-policy word read/write fast path (aliases storage._data)
+        self._mem_view = storage._data.data
+        self._mem_size = storage.size_bytes
         # Prebound hot-path counters (see repro.sim.stats).
         self._c_conflicts = self.stats.counter("mem.bank_conflicts")
         self._c_accesses = self.stats.counter("mem.bank_accesses")
@@ -122,11 +131,14 @@ class BankedMemory(Component):
 
     # ------------------------------------------------------------------ tick
     def tick(self, cycle: int) -> WakeHint:
-        self._deliver_responses(cycle)
+        if self._flight_count:
+            self._deliver_responses(cycle)
         self._accept_requests(cycle)
         # New requests and response-queue back-pressure wake us through the
         # queue subscriptions; the only time-gated event is an in-flight
         # access maturing after the bank latency.
+        if not self._flight_count:
+            return IDLE
         wake = IDLE
         for in_flight in self._in_flight:
             if in_flight:
@@ -139,12 +151,26 @@ class BankedMemory(Component):
         return self.all_queues()
 
     def _deliver_responses(self, cycle: int) -> None:
+        # Batched delivery: all of a port's matured responses land through
+        # one DecoupledQueue.push_many call, which advances the engine's
+        # activity counter by the exact item count while marking the dirty
+        # list once per queue.
+        delivered = 0
+        response_queues = self.response_queues
+        batch: List = []
         for port, in_flight in enumerate(self._in_flight):
             if not in_flight:
                 continue
-            queue = self.response_queues[port]
-            while in_flight and in_flight[0][0] <= cycle and queue._count < queue.depth:
-                queue.push(in_flight.popleft()[1])
+            queue = response_queues[port]
+            room = queue.depth - queue._count
+            while room > 0 and in_flight and in_flight[0][0] <= cycle:
+                batch.append(in_flight.popleft()[1])
+                room -= 1
+            if batch:
+                queue.push_many(batch)
+                delivered += len(batch)
+                del batch[:]
+        self._flight_count -= delivered
 
     def _accept_requests(self, cycle: int) -> None:
         config = self.config
@@ -153,19 +179,17 @@ class BankedMemory(Component):
         all_in_flight = self._in_flight
         # Gather this cycle's head-of-line claimants.  The single-claimant
         # case (the majority of cycles) stays on plain scalars; two or more
-        # claimants are batched into numpy arrays below.  (The per-request
-        # `decompose`/modulo bank math is gone from this path: batch banks
-        # come from one vectorized `banks_of_words` call.)
+        # claimants are batched into the claim lists below.
         first_port = -1
         first_word = 0
         batch_ports = None
         batch_words = None
-        for port, queue in enumerate(request_queues):
+        for port, (queue, flight) in enumerate(self._port_pairs):
             storage = queue._storage
             if not storage:
                 continue
             # Hold issue if the response path is saturated to bound in-flight state.
-            if len(all_in_flight[port]) >= in_flight_limit:
+            if len(flight) >= in_flight_limit:
                 continue
             if first_port < 0:
                 first_port = port
@@ -189,15 +213,15 @@ class BankedMemory(Component):
             # claim-list order (claimants were gathered in port order).
             granted = batch_ports
         else:
-            # One vectorized bank computation for the whole batch; the
+            # One batched bank computation for the whole claim list; the
             # winner-per-bank pick then runs over the precomputed bank list.
-            # (A full array-side selection — lexsort on (bank, rotated
-            # priority) + first-of-run masking — was measured slower than
-            # this scan for batches bounded by num_ports; see
+            # (Both the numpy `banks_of_words` call and a full array-side
+            # selection — lexsort on (bank, rotated priority) +
+            # first-of-run masking — were measured slower than plain modulo
+            # over a claim list bounded by num_ports; see
             # tests/test_data_policy.py for the equivalence property test.)
-            banks = self.address_map.banks_of_words(
-                np.array(batch_words, dtype=np.int64)
-            ).tolist()
+            num_banks = config.num_banks
+            banks = [word % num_banks for word in batch_words]
             last_grant = self._bank_last_grant
             num_ports = config.num_ports
             claims: dict = {}
@@ -227,29 +251,66 @@ class BankedMemory(Component):
                 granted.append(port)
         # Grant phase: pop each winner's request and start the bank access.
         # Per-port state is independent, so grant order across banks cannot
-        # affect simulated behaviour.
+        # affect simulated behaviour.  The request object doubles as its own
+        # response in both policies (it already carries the port, routing
+        # tag and is_write flag; FULL reads deposit their word into its
+        # ``data`` field), and single-word storage accesses go straight
+        # through a cached writable view of the memory image — the same
+        # bytes `storage.read_bytes`/`storage.write` would touch, minus the
+        # per-call layers.
         elide = self._elide
         latency = config.latency
         word_bytes = config.word_bytes
+        view = self._mem_view
+        size = self._mem_size
         writes = 0
+        ready = cycle + latency
         for port in granted:
-            request = request_queues[port].pop()
+            # Inlined DecoupledQueue.pop (one grant per port per cycle).
+            queue = request_queues[port]
+            queue.total_popped += 1
+            queue._count -= 1
+            engine = queue._engine
+            if engine is not None:
+                engine._activity += 1
+                if not queue._touched:
+                    queue._touched = True
+                    engine._touched_queues.append(queue)
+            request = queue._storage.popleft()
             if elide:
-                # Timing-only fast path: no storage access, and the request
-                # object doubles as its own response — it already carries
-                # the port, routing tag and is_write flag, and its (ignored)
-                # data field is None for reads.
-                response = request
+                # Timing-only fast path: no storage access at all.
+                if request.is_write:
+                    writes += 1
             else:
-                response = self._perform_access(request, word_bytes)
-            all_in_flight[port].append((cycle + latency, response))
-            if request.is_write:
-                writes += 1
+                byte_addr = request.word_addr * word_bytes
+                end = byte_addr + word_bytes
+                if byte_addr < 0 or end > size:
+                    # Delegate to the storage methods for the canonical
+                    # out-of-range error.
+                    self.storage.read_bytes(byte_addr, word_bytes)
+                if request.is_write:
+                    data = request.data
+                    if data is None:
+                        raise ConfigurationError("write word request without data")
+                    if isinstance(data, (bytes, bytearray, memoryview)):
+                        view[byte_addr:end] = data
+                    else:
+                        self.storage.write(byte_addr, data)
+                    writes += 1
+                else:
+                    request.data = view[byte_addr:end].tobytes()
+            all_in_flight[port].append((ready, request))
+        self._flight_count += len(granted)
         self._c_accesses.value += len(granted)
         self._c_writes.value += writes
         self._c_reads.value += len(granted) - writes
 
     def _perform_access(self, request: WordRequest, word_bytes: int) -> WordResponse:
+        """Single word access against the backing storage (reference path).
+
+        The grant loop above inlines this logic; this method is kept for
+        unit tests and subclasses that exercise one access at a time.
+        """
         byte_addr = request.word_addr * word_bytes
         if request.is_write:
             if request.data is None:
@@ -261,7 +322,7 @@ class BankedMemory(Component):
 
     # ------------------------------------------------------------------ state
     def busy(self) -> bool:
-        if any(flight for flight in self._in_flight):
+        if self._flight_count:
             return True
         if any(not queue.is_empty() for queue in self.request_queues):
             return True
@@ -270,6 +331,7 @@ class BankedMemory(Component):
     def reset(self) -> None:
         for flight in self._in_flight:
             flight.clear()
+        self._flight_count = 0
         for queue in self.request_queues:
             queue.clear()
         for queue in self.response_queues:

@@ -51,7 +51,8 @@ class IdealMemoryEndpoint(Component):
         self.stats = stats if stats is not None else StatsRegistry()
         self.data_policy = data_policy
         self._elide = data_policy.elides_data
-        # Active read: (request, payload bytes, next beat index, start cycle)
+        # Active read: [request, payload bytes | None, next beat index,
+        # ready cycle, per-beat useful-byte table (ELIDE only)]
         self._read: Optional[list] = None
         self._read_backlog: Deque[BusRequest] = deque()
         # Active write: (request, collected payload bytes, beats received)
@@ -82,19 +83,16 @@ class IdealMemoryEndpoint(Component):
             self._start_read(self._read_backlog.popleft(), cycle)
         if self._read is None:
             return
-        request, payload, beat_index, ready_cycle = self._read
+        request, payload, beat_index, ready_cycle, usefuls = self._read
         if cycle < ready_cycle or not self.port.r.can_push():
             return
         bus_bytes = request.bus_bytes
         start = beat_index * bus_bytes
         if payload is None:
-            # Timing-only: geometry of the beat without the bytes.  The
-            # useful-byte count matches the FULL-mode payload slice exactly
-            # (the payload has ``payload_bytes`` bytes; a misaligned
-            # contiguous burst's trailing beats can slice past its end,
-            # yielding empty FULL-mode chunks).
+            # Timing-only: geometry of the beat without the bytes, from the
+            # per-burst useful-byte table precomputed at burst start.
             chunk = b""
-            useful = min(bus_bytes, max(0, request.payload_bytes - start))
+            useful = usefuls[beat_index]
         else:
             chunk = payload[start : start + bus_bytes]
             useful = len(chunk)
@@ -121,8 +119,23 @@ class IdealMemoryEndpoint(Component):
     def _start_read(self, request: BusRequest, cycle: int) -> None:
         if request.is_write:
             raise ProtocolError("write request arrived on the AR channel")
-        payload = None if self._elide else read_burst_payload(self.storage, request)
-        self._read = [request, payload, 0, cycle + self.latency]
+        if self._elide:
+            # Batch geometry precompute: the whole burst's per-beat
+            # useful-byte counts in one pass (they match the FULL-mode
+            # payload slices exactly — a misaligned contiguous burst's
+            # trailing beats can slice past the payload end, yielding empty
+            # FULL-mode chunks, hence the clamp to zero).
+            payload = None
+            bus_bytes = request.bus_bytes
+            payload_bytes = request.payload_bytes
+            usefuls = [
+                min(bus_bytes, max(0, payload_bytes - beat * bus_bytes))
+                for beat in range(request.num_beats)
+            ]
+        else:
+            payload = read_burst_payload(self.storage, request)
+            usefuls = None
+        self._read = [request, payload, 0, cycle + self.latency, usefuls]
 
     # ----------------------------------------------------------------- writes
     def _serve_writes(self, cycle: int) -> None:

@@ -19,6 +19,11 @@ for the full contract.
 from repro.sim.component import IDLE, Component, WakeHint
 from repro.sim.queue import DecoupledQueue, LatencyPipe
 from repro.sim.arbiter import RoundRobinArbiter
+from repro.sim.datapath import (
+    DatapathMode,
+    default_datapath_mode,
+    resolve_datapath_mode,
+)
 from repro.sim.engine import Engine
 from repro.sim.policy import DataPolicy, default_data_policy, resolve_data_policy
 from repro.sim.stats import Counter, StatsRegistry
@@ -28,6 +33,7 @@ __all__ = [
     "Component",
     "WakeHint",
     "DataPolicy",
+    "DatapathMode",
     "DecoupledQueue",
     "LatencyPipe",
     "RoundRobinArbiter",
@@ -35,5 +41,7 @@ __all__ = [
     "Counter",
     "StatsRegistry",
     "default_data_policy",
+    "default_datapath_mode",
     "resolve_data_policy",
+    "resolve_datapath_mode",
 ]

@@ -1,0 +1,80 @@
+"""Datapath representation of the simulated controller: scalar or batch.
+
+The controller model can run its hot datapath in two representations that
+produce bit-identical cycle counts and statistics:
+
+``DatapathMode.BATCH`` (default)
+    Struct-of-arrays: the word accesses of a burst live in flat parallel
+    arrays (ports, word addresses, payload offsets, byte counts, shifts)
+    computed by vectorized numpy plan kernels and held in lane batch
+    buffers (:mod:`repro.controller.lanes`).  The converter pipes advance
+    over plain integer arrays instead of dispatching per
+    :class:`~repro.controller.plans.WordSlot` object.
+
+``DatapathMode.SCALAR``
+    The seed representation: one :class:`~repro.controller.plans.BeatPlan`
+    object per beat holding one :class:`~repro.controller.plans.WordSlot`
+    object per word access, produced by the generator planners in
+    :mod:`repro.controller.planners` and interpreted one object at a time.
+
+The two modes are *representations* of the same machine, not different
+machines: issue order, regulator behaviour, arbitration, statistics and
+every cycle count are identical (pinned by ``tests/test_datapath_parity.py``
+and per grid point in ``benchmarks/bench_headline.py``).  Because results
+never differ, the mode is an environment switch, not part of
+:class:`~repro.system.config.SystemConfig` — cache fingerprints are
+unaffected and FULL/ELIDE entries remain valid across modes.
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+from typing import Optional, Union
+
+#: Environment variable selecting the default mode (``batch`` or ``scalar``).
+DATAPATH_ENV = "REPRO_SIM_DATAPATH"
+
+
+class DatapathMode(enum.Enum):
+    """How the controller datapath represents in-flight word accesses."""
+
+    SCALAR = "scalar"
+    BATCH = "batch"
+
+    @property
+    def is_batch(self) -> bool:
+        """True when the struct-of-arrays lane kernels are in use."""
+        return self is DatapathMode.BATCH
+
+
+def default_datapath_mode() -> DatapathMode:
+    """The mode selected by ``$REPRO_SIM_DATAPATH`` (default: BATCH)."""
+    raw = os.environ.get(DATAPATH_ENV)
+    if raw is None:
+        return DatapathMode.BATCH
+    return resolve_datapath_mode(raw)
+
+
+def resolve_datapath_mode(
+    value: Optional[Union["DatapathMode", str]],
+) -> DatapathMode:
+    """Coerce ``None`` / a mode name / a mode to a :class:`DatapathMode`.
+
+    ``None`` resolves to the environment default, strings by enum value
+    (case-insensitive).  Raises ``ValueError`` for unknown names so a typo'd
+    ``REPRO_SIM_DATAPATH`` fails loudly instead of silently benchmarking the
+    wrong representation.
+    """
+    if value is None:
+        return default_datapath_mode()
+    if isinstance(value, DatapathMode):
+        return value
+    name = value.strip().lower()
+    try:
+        return DatapathMode(name)
+    except ValueError:
+        raise ValueError(
+            f"unknown datapath mode {value!r}; choose from "
+            f"{[mode.value for mode in DatapathMode]}"
+        ) from None

@@ -189,40 +189,46 @@ class Engine:
                 raise SimulationError(
                     f"simulation exceeded {max_cycles} cycles without completing"
                 )
-            next_wake = min(wakes) if wakes else IDLE
+            # Tick every due component; due-ness is discovered during the
+            # scan itself, so busy cycles never pay a separate min(wakes).
+            ticked = False
+            for slot, component in enumerate(components):
+                if wakes[slot] <= cycle:
+                    hint = component.tick(cycle)
+                    wakes[slot] = cycle + 1 if hint is None else hint
+                    ticked = True
             # A dirty queue (e.g. pushed from outside the engine between
             # runs) counts as work due this cycle: stepping commits it and
             # wakes its subscribers, exactly like naive stepping would.
-            if next_wake > cycle and not touched:
+            if not ticked and not touched:
                 # Nothing is due at the current cycle: fast-forward to the
                 # earliest wake, stopping where deadlock detection or the
                 # cycle budget would have fired during naive stepping.  An
                 # in-flight latency pipe bounds the jump to its maturity
                 # cycle (hinted pipe consumers also carry that cycle in
                 # their own hints; legacy consumers pin stepping anyway).
+                next_wake = min(wakes) if wakes else IDLE
                 target = min(
                     next_wake,
                     cycle + (window - idle_cycles),
                     start_cycle + max_cycles,
                 )
-                for pipe in pipes:
-                    ready = pipe.next_ready_cycle()
-                    if ready is not None and cycle < ready < target:
-                        target = ready
+                if pipes:
+                    for pipe in pipes:
+                        ready = pipe.next_ready_cycle()
+                        if ready is not None and cycle < ready < target:
+                            target = ready
                 # ceil: a fractional wake hint must not truncate to a
                 # zero-cycle jump (the loop would never advance).
                 skipped = math.ceil(target) - cycle
                 idle_cycles += skipped
-                for pipe in pipes:
-                    pipe.advance(skipped)
+                if pipes:
+                    for pipe in pipes:
+                        pipe.advance(skipped)
                 self.cycle = cycle + skipped
                 if idle_cycles >= window:
                     raise DeadlockError(self._deadlock_report())
                 continue
-            for slot, component in enumerate(components):
-                if wakes[slot] <= cycle:
-                    hint = component.tick(cycle)
-                    wakes[slot] = cycle + 1 if hint is None else hint
             if touched:
                 next_cycle = cycle + 1
                 for queue in touched:
@@ -240,8 +246,9 @@ class Engine:
                         if wakes[slot] > next_cycle:
                             wakes[slot] = next_cycle
                 del touched[:]
-            for pipe in pipes:
-                pipe.advance()
+            if pipes:
+                for pipe in pipes:
+                    pipe.advance()
             self.cycle = cycle + 1
             activity = self._activity
             if activity == last_activity:

@@ -40,6 +40,21 @@ class DecoupledQueue(Generic[ItemT]):
         study in §III-E).
     """
 
+    __slots__ = (
+        "name",
+        "depth",
+        "_storage",
+        "_incoming",
+        "_count",
+        "total_pushed",
+        "total_popped",
+        "max_occupancy",
+        "_engine",
+        "_touched",
+        "_waiters",
+        "_waiters_engine",
+    )
+
     def __init__(self, name: str, depth: int) -> None:
         self.name = name
         self.depth = check_positive("queue depth", depth)
@@ -70,6 +85,28 @@ class DecoupledQueue(Generic[ItemT]):
         engine = self._engine
         if engine is not None:
             engine._activity += 1
+            if not self._touched:
+                self._touched = True
+                engine._touched_queues.append(self)
+
+    def push_many(self, items) -> None:
+        """Push a batch of items with exact aggregate bookkeeping.
+
+        Semantically identical to pushing the items one by one: the engine's
+        activity counter advances by ``len(items)`` (deadlock detection sees
+        every item) while the dirty-list marking happens once.  Raises if
+        the batch does not fit — callers check :meth:`can_push` with the
+        batch size first.
+        """
+        count = len(items)
+        if self._count + count > self.depth:
+            raise SimulationError(f"push of {count} items to full queue {self.name!r}")
+        self._incoming.extend(items)
+        self._count += count
+        self.total_pushed += count
+        engine = self._engine
+        if engine is not None:
+            engine._activity += count
             if not self._touched:
                 self._touched = True
                 engine._touched_queues.append(self)

@@ -57,7 +57,15 @@ from repro.sim.component import IDLE, Component, WakeHint
 from repro.sim.policy import DataPolicy
 from repro.vector.builder import Program
 from repro.vector.config import LoweringMode, VectorEngineConfig
-from repro.vector.ops import ScalarWork, VectorCompute, VectorLoad, VectorOp, VectorStore
+from repro.vector.ops import (
+    KIND_COMPUTE,
+    KIND_LOAD,
+    KIND_SCALAR,
+    KIND_STORE,
+    VectorCompute,
+    VectorLoad,
+    VectorOp,
+)
 from repro.vector.regfile import VectorRegisterFile
 
 _DTYPES = {"float32": np.float32, "uint32": np.uint32, "int32": np.int32,
@@ -66,6 +74,20 @@ _DTYPES = {"float32": np.float32, "uint32": np.uint32, "int32": np.int32,
 
 class _MemOpState:
     """In-flight bookkeeping of one vector load or store."""
+
+    __slots__ = (
+        "op",
+        "requests",
+        "is_load",
+        "next_request",
+        "total_beats",
+        "beats_done",
+        "responses_pending",
+        "chunks",
+        "positions",
+        "first_beat_cycle",
+        "ready_cycle",
+    )
 
     def __init__(
         self,
@@ -78,16 +100,26 @@ class _MemOpState:
         self.requests = requests
         self.is_load = is_load
         self.next_request = 0
-        self.total_beats = sum(request.num_beats for request in requests)
         self.beats_done = 0
         self.responses_pending = len(requests)
-        #: collected R payload per transaction (None under DataPolicy.ELIDE)
-        self.chunks: Optional[Dict[int, List[bytes]]] = (
-            None if elide else {request.txn_id: [] for request in requests}
-        )
-        self.positions: Dict[int, int] = {
-            request.txn_id: index for index, request in enumerate(requests)
-        }
+        # The single-request case dominates (one burst per op on most
+        # workloads); skip the comprehension machinery for it.
+        if len(requests) == 1:
+            request = requests[0]
+            self.total_beats = request.num_beats
+            #: collected R payload per transaction (None under DataPolicy.ELIDE)
+            self.chunks: Optional[Dict[int, List[bytes]]] = (
+                None if elide else {request.txn_id: []}
+            )
+            self.positions: Dict[int, int] = {request.txn_id: 0}
+        else:
+            self.total_beats = sum(request.num_beats for request in requests)
+            self.chunks = (
+                None if elide else {request.txn_id: [] for request in requests}
+            )
+            self.positions = {
+                request.txn_id: index for index, request in enumerate(requests)
+            }
         self.first_beat_cycle: Optional[int] = None
         self.ready_cycle = 0  #: address generation done, requests may be issued
 
@@ -174,12 +206,23 @@ class VectorEngine(Component):
         self.w_monitor = ChannelMonitor("W", port.bus_bytes)
 
         self._next_op = 0
+        self._ops = program.ops  #: prebound: indexed every dispatch attempt
+        self._num_ops = len(program.ops)
+        self._r_queue = port.r  #: prebound hot channels (checked every tick)
+        self._b_queue = port.b
         self._stall_until = 0  #: first cycle at which dispatch may run again
         self._timers: List[float] = []  #: heap of future wake deadlines
+        #: deadlines currently on the heap — many ops complete on the same
+        #: cycle, so deduplicating pushes keeps the heap (and its per-tick
+        #: drain) proportional to distinct deadlines, not completions
+        self._timer_set: set = set()
         self._done_at: Dict[int, int] = {}
         self._latest_completion = 0
         self._active_loads: List[_MemOpState] = []
         self._active_stores: List[_MemOpState] = []
+        #: AR/AW requests dispatched but not yet pushed onto the port —
+        #: gates the per-tick scan over the active memory ops
+        self._unissued_requests = 0
         self._by_txn: Dict[int, _MemOpState] = {}
         self._txn_kind: Dict[int, str] = {}
         #: pending W beats: (request, beat index, payload chunk | None, useful)
@@ -192,25 +235,28 @@ class VectorEngine(Component):
     # ------------------------------------------------------------------ tick
     def tick(self, cycle: int) -> WakeHint:
         self._cycle = cycle
-        if self.port.r._storage:
+        if self._r_queue._storage:
             self._consume_r(cycle)
-        if self.port.b._storage:
+        if self._b_queue._storage:
             self._consume_b(cycle)
         if self._pending_computes:
             self._retire_computes(cycle)
         hint = self._dispatch(cycle)
-        if self._active_loads or self._active_stores:
+        if self._unissued_requests:
             self._push_requests(cycle)
         if self._w_backlog:
             self._push_w_data(cycle)
         # Everything queue-gated (R/B arrivals, AR/AW/W back-pressure) re-wakes
         # us through the port subscriptions; the timer heap covers everything
-        # time-gated (op completions, address setup, dispatch stalls).
+        # time-gated (op completions, address setup, dispatch stalls).  All
+        # matured deadlines are resolved in one batched drain.
         timers = self._timers
-        while timers and timers[0] <= cycle:
-            heappop(timers)
-        if timers and timers[0] < hint:
-            hint = timers[0]
+        if timers:
+            discard = self._timer_set.discard
+            while timers and timers[0] <= cycle:
+                discard(heappop(timers))
+            if timers and timers[0] < hint:
+                hint = timers[0]
         return hint
 
     def wake_queues(self):
@@ -219,7 +265,8 @@ class VectorEngine(Component):
     # ------------------------------------------------------------- completion
     def _mark_done(self, op_id: int, cycle: int) -> None:
         self._done_at[op_id] = cycle
-        if cycle > self._cycle:
+        if cycle > self._cycle and cycle not in self._timer_set:
+            self._timer_set.add(cycle)
             heappush(self._timers, cycle)
         if cycle > self._latest_completion:
             self._latest_completion = cycle
@@ -255,7 +302,7 @@ class VectorEngine(Component):
 
     def done(self) -> bool:
         """True once every instruction has been dispatched and completed."""
-        if self._next_op < len(self.program.ops):
+        if self._next_op < self._num_ops:
             return False
         if self._active_loads or self._active_stores or self._pending_computes:
             return False
@@ -275,23 +322,26 @@ class VectorEngine(Component):
         engine anyway: op completions land on the timer heap via
         :meth:`_mark_done`, and memory-slot/fence pressure clears only when
         R/B beats arrive on the subscribed port queues).
+
+        Runs every awake cycle with a pending instruction, so it branches on
+        the ops' integer ``KIND`` tags instead of isinstance chains.
         """
-        if self._next_op >= len(self.program.ops):
+        next_op = self._next_op
+        if next_op >= self._num_ops:
             return IDLE
         if cycle < self._stall_until:
             return self._stall_until
-        op = self.program.ops[self._next_op]
-        if isinstance(op, VectorLoad):
+        op = self._ops[next_op]
+        kind = op.KIND
+        if kind == KIND_LOAD:
             if not self._load_deps_ready(op, cycle):
                 return IDLE
-        elif not isinstance(op, VectorCompute) and not self._deps_done(op, cycle):
-            return IDLE
-        if isinstance(op, ScalarWork):
-            self._stall_until = cycle + max(1, op.cycles)
-            self._mark_done(op.op_id, cycle + op.cycles)
-            self._next_op += 1
+            if not self._try_dispatch_memory(op, cycle):
+                return IDLE
+            self._stall_until = cycle + self.config.issue_cycles
+            self._next_op = next_op + 1
             return self._after_dispatch_hint()
-        if isinstance(op, VectorCompute):
+        if kind == KIND_COMPUTE:
             if self._deps_done(op, cycle):
                 self._schedule_compute(op, cycle)
             else:
@@ -302,19 +352,26 @@ class VectorEngine(Component):
                 # the overlapped execution is credited.
                 self._pending_computes.append((op, cycle))
             self._stall_until = cycle + self.config.issue_cycles
-            self._next_op += 1
+            self._next_op = next_op + 1
             return self._after_dispatch_hint()
-        if isinstance(op, (VectorLoad, VectorStore)):
+        if not self._deps_done(op, cycle):
+            return IDLE
+        if kind == KIND_SCALAR:
+            self._stall_until = cycle + max(1, op.cycles)
+            self._mark_done(op.op_id, cycle + op.cycles)
+            self._next_op = next_op + 1
+            return self._after_dispatch_hint()
+        if kind == KIND_STORE:
             if not self._try_dispatch_memory(op, cycle):
                 return IDLE
             self._stall_until = cycle + self.config.issue_cycles
-            self._next_op += 1
+            self._next_op = next_op + 1
             return self._after_dispatch_hint()
         raise SimulationError(f"unknown op type {type(op).__name__}")
 
     def _after_dispatch_hint(self) -> float:
         """Wake at the end of the issue stall if instructions remain."""
-        if self._next_op < len(self.program.ops):
+        if self._next_op < self._num_ops:
             return self._stall_until
         return IDLE
 
@@ -386,9 +443,11 @@ class VectorEngine(Component):
         requests = self._lower(op, is_load)
         state = _MemOpState(op, requests, is_load, self._elide)
         state.ready_cycle = cycle + self.config.addr_setup_cycles
-        if state.ready_cycle > cycle:
+        if state.ready_cycle > cycle and state.ready_cycle not in self._timer_set:
+            self._timer_set.add(state.ready_cycle)
             heappush(self._timers, state.ready_cycle)
         active.append(state)
+        self._unissued_requests += len(requests)
         kind = getattr(op, "kind", "data")
         for request in requests:
             self._by_txn[request.txn_id] = state
@@ -460,6 +519,7 @@ class VectorEngine(Component):
             if cycle >= state.ready_cycle and self.port.ar.can_push():
                 self.port.ar.push(state.requests[state.next_request])
                 state.next_request += 1
+                self._unissued_requests -= 1
             break
         # One AW per cycle, oldest store first.
         for state in self._active_stores:
@@ -468,6 +528,7 @@ class VectorEngine(Component):
             if cycle >= state.ready_cycle and self.port.aw.can_push():
                 self.port.aw.push(state.requests[state.next_request])
                 state.next_request += 1
+                self._unissued_requests -= 1
             break
 
     def _push_w_data(self, cycle: int) -> None:
@@ -489,20 +550,23 @@ class VectorEngine(Component):
         self._w_backlog.popleft()
 
     def _consume_r(self, cycle: int) -> None:
-        if not self.port.r._storage:
-            return
-        beat = self.port.r.pop()
-        state = self._by_txn.get(beat.txn_id)
+        beat = self._r_queue.pop()
+        txn_id = beat.txn_id
+        state = self._by_txn.get(txn_id)
         if state is None:
-            raise SimulationError(f"R beat for unknown transaction {beat.txn_id}")
-        kind = self._txn_kind.get(beat.txn_id, "data")
-        self.r_monitor.record_beat(beat.useful_bytes, kind=kind)
+            raise SimulationError(f"R beat for unknown transaction {txn_id}")
+        useful = beat.useful_bytes
+        self.r_monitor.record_beat(useful, kind=self._txn_kind.get(txn_id, "data"))
         if not self._elide:
-            state.chunks[beat.txn_id].append(bytes(beat.data)[: beat.useful_bytes])
-        state.beats_done += 1
+            data = beat.data
+            if len(data) != useful:
+                data = bytes(data)[:useful]
+            state.chunks[txn_id].append(data)
+        done = state.beats_done + 1
+        state.beats_done = done
         if state.first_beat_cycle is None:
             state.first_beat_cycle = cycle
-        if state.complete:
+        if done >= state.total_beats and state.is_load:
             self._finish_load(state, cycle)
 
     def _finish_load(self, state: _MemOpState, cycle: int) -> None:
@@ -539,9 +603,7 @@ class VectorEngine(Component):
         return raw.view(dtype)[: op.stream.num_elements].copy()
 
     def _consume_b(self, cycle: int) -> None:
-        if not self.port.b._storage:
-            return
-        beat = self.port.b.pop()
+        beat = self._b_queue.pop()
         state = self._by_txn.get(beat.txn_id)
         if state is None:
             raise SimulationError(f"B beat for unknown transaction {beat.txn_id}")

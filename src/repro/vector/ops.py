@@ -14,9 +14,21 @@ from typing import Callable, List, Optional, Sequence
 from repro.axi.stream import Stream
 
 
+#: Dispatch-kind tags carried as plain class attributes: the engine's
+#: dispatcher branches on one integer compare instead of an isinstance
+#: chain (hot: it runs every tick with a pending instruction).
+KIND_GENERIC = 0
+KIND_LOAD = 1
+KIND_STORE = 2
+KIND_COMPUTE = 3
+KIND_SCALAR = 4
+
+
 @dataclass
 class VectorOp:
     """Base class: an operation with an id and data dependencies."""
+
+    KIND = KIND_GENERIC
 
     op_id: int
     deps: List[int] = field(default_factory=list)
@@ -31,6 +43,8 @@ class VectorOp:
 @dataclass
 class VectorLoad(VectorOp):
     """A vector load: move a stream from memory into a vector register."""
+
+    KIND = KIND_LOAD
 
     stream: Optional[Stream] = None
     dest: str = "v0"
@@ -48,6 +62,8 @@ class VectorLoad(VectorOp):
 @dataclass
 class VectorStore(VectorOp):
     """A vector store: move a vector register to a stream in memory."""
+
+    KIND = KIND_STORE
 
     stream: Optional[Stream] = None
     src: str = "v0"
@@ -70,6 +86,8 @@ class VectorCompute(VectorOp):
     ``num_elements`` and whether the op is a reduction.
     """
 
+    KIND = KIND_COMPUTE
+
     num_elements: int = 0
     srcs: Sequence[str] = field(default_factory=tuple)
     dest: Optional[str] = None
@@ -86,5 +104,7 @@ class ScalarWork(VectorOp):
     scalar work is in progress, which is how per-row iteration overhead
     throttles short streams (paper §III-B, Figs. 3d/3e).
     """
+
+    KIND = KIND_SCALAR
 
     cycles: int = 1

@@ -1,0 +1,469 @@
+"""Scalar/batch datapath parity: kernels, pipes and whole-system A/B.
+
+The batch (struct-of-arrays) datapath of :mod:`repro.controller.lanes` is a
+pure re-representation of the scalar per-object datapath: same word slots in
+the same order, same regulator interaction, same cycle counts and statistics.
+These tests pin that three ways:
+
+* **kernel properties** — for random burst geometry, the flat slot arrays of
+  every batch plan kernel equal the concatenated ``WordSlot`` sequences of
+  its scalar generator planner;
+* **stream properties** — random burst streams through the controller
+  testbench produce identical cycle counts, statistics, per-burst latencies
+  and (FULL-policy) payloads under both datapaths, both engines and both
+  data policies — including the scalar×naive×ELIDE corners the headline
+  benchmark does not run;
+* **system A/B** — representative workloads on all three evaluation systems
+  match between the datapaths.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.axi.pack import PackUserField
+from repro.axi.transaction import BusRequest, reset_txn_ids
+from repro.controller.lanes import (
+    SlotBatch,
+    batch_contiguous,
+    batch_index_fetch,
+    batch_indexed_beat,
+    batch_narrow,
+    batch_strided,
+)
+from repro.controller.planners import (
+    plan_contiguous_beats,
+    plan_index_fetch_beats,
+    plan_indexed_beat,
+    plan_narrow_beats,
+    plan_strided_beats,
+)
+from repro.controller.testbench import ControllerTestbench
+from repro.errors import ProtocolError
+from repro.sim.datapath import (
+    DatapathMode,
+    default_datapath_mode,
+    resolve_datapath_mode,
+)
+from repro.sim.policy import DataPolicy
+
+WORD = 4
+BUS = 32
+BUS_WORDS = BUS // WORD
+
+
+# --------------------------------------------------------------------------
+# helpers
+# --------------------------------------------------------------------------
+
+
+def flatten_plans(plans):
+    """Scalar planner output as (slot tuples, per-beat metadata)."""
+    slots = []
+    beats = []
+    for index, plan in enumerate(plans):
+        for slot in plan.slots:
+            slots.append(
+                (index, slot.port, slot.word_addr, slot.offset, slot.nbytes,
+                 slot.byte_shift)
+            )
+        beats.append((plan.useful_bytes, plan.last))
+    return slots, beats
+
+
+def flatten_batch(batch: SlotBatch):
+    """Batch kernel output in the same shape as :func:`flatten_plans`."""
+    slots = [
+        (batch.beat_of[i], batch.ports[i], batch.words[i], batch.offsets[i],
+         batch.nbytes[i], batch.shifts[i])
+        for i in range(batch.num_slots)
+    ]
+    beats = list(zip(batch.beat_useful, batch.beat_last))
+    # beat_start must be a consistent prefix over beat_of.
+    for beat in range(batch.num_beats):
+        start, end = batch.beat_start[beat], batch.beat_start[beat + 1]
+        assert all(batch.beat_of[i] == beat for i in range(start, end))
+    assert batch.beat_start[-1] == batch.num_slots
+    return slots, beats
+
+
+def contiguous_request(addr: int, num_elements: int, elem_bytes: int,
+                       is_write: bool = False) -> BusRequest:
+    return BusRequest(
+        addr=addr, is_write=is_write, num_elements=num_elements,
+        elem_bytes=elem_bytes, bus_bytes=BUS, contiguous=True,
+    )
+
+
+def narrow_request(addr: int, num_elements: int, elem_bytes: int,
+                   is_write: bool = False) -> BusRequest:
+    return BusRequest(
+        addr=addr, is_write=is_write, num_elements=num_elements,
+        elem_bytes=elem_bytes, bus_bytes=BUS, contiguous=False,
+    )
+
+
+def strided_request(addr: int, num_elements: int, elem_bytes: int,
+                    stride_elems: int, is_write: bool = False) -> BusRequest:
+    return BusRequest(
+        addr=addr, is_write=is_write, num_elements=num_elements,
+        elem_bytes=elem_bytes, bus_bytes=BUS,
+        pack=PackUserField.strided(stride_elems),
+    )
+
+
+def indirect_request(base: int, num_elements: int, elem_bytes: int,
+                     index_base: int, index_bytes: int = 4,
+                     is_write: bool = False) -> BusRequest:
+    return BusRequest(
+        addr=base, is_write=is_write, num_elements=num_elements,
+        elem_bytes=elem_bytes, bus_bytes=BUS,
+        pack=PackUserField.indirect(index_bytes, index_base),
+        index_base=index_base,
+    )
+
+
+# --------------------------------------------------------------------------
+# kernel vs scalar planner properties
+# --------------------------------------------------------------------------
+
+
+class TestPlanKernelEquivalence:
+    @given(
+        addr=st.integers(min_value=0, max_value=3000),
+        num_elements=st.integers(min_value=1, max_value=250),
+        elem_bytes=st.sampled_from([1, 2, 4]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_contiguous(self, addr, num_elements, elem_bytes):
+        if addr + num_elements * elem_bytes > 4096:
+            num_elements = max(1, (4096 - addr) // elem_bytes)
+        request = contiguous_request(addr, num_elements, elem_bytes)
+        scalar = flatten_plans(plan_contiguous_beats(request, WORD, BUS_WORDS, 0))
+        batch = flatten_batch(batch_contiguous(request, WORD, BUS_WORDS))
+        assert scalar == batch
+
+    @given(
+        addr=st.integers(min_value=0, max_value=100_000),
+        num_elements=st.integers(min_value=1, max_value=200),
+        elem_bytes=st.sampled_from([1, 2, 4, 8]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_narrow(self, addr, num_elements, elem_bytes):
+        request = narrow_request(addr, num_elements, elem_bytes)
+        scalar = flatten_plans(plan_narrow_beats(request, WORD, BUS_WORDS, 0))
+        batch = flatten_batch(batch_narrow(request, WORD, BUS_WORDS))
+        assert scalar == batch
+
+    @given(
+        addr_words=st.integers(min_value=0, max_value=25_000),
+        num_elements=st.integers(min_value=1, max_value=300),
+        elem_bytes=st.sampled_from([4, 8]),
+        stride_elems=st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_strided(self, addr_words, num_elements, elem_bytes, stride_elems):
+        request = strided_request(
+            addr_words * WORD, num_elements, elem_bytes, stride_elems
+        )
+        scalar = flatten_plans(plan_strided_beats(request, WORD, BUS_WORDS, 0))
+        batch = flatten_batch(batch_strided(request, WORD, BUS_WORDS))
+        assert scalar == batch
+
+    @given(
+        base_words=st.integers(min_value=0, max_value=25_000),
+        elem_bytes=st.sampled_from([4, 8]),
+        offsets=st.lists(
+            st.integers(min_value=0, max_value=10_000), min_size=1, max_size=8
+        ),
+        beat=st.integers(min_value=0, max_value=30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_indexed_beat(self, base_words, elem_bytes, offsets, beat):
+        epb = BUS // elem_bytes
+        offsets = offsets[:epb]
+        count = max(len(offsets) + beat * epb, 1)
+        request = indirect_request(base_words * WORD, count, elem_bytes, 0)
+        beat = min(beat, request.num_beats - 1)
+        plan = plan_indexed_beat(request, beat, offsets, WORD, BUS_WORDS, 0)
+        scalar = flatten_plans([plan])
+        batch = flatten_batch(
+            batch_indexed_beat(request, beat, offsets, WORD, BUS_WORDS)
+        )
+        assert scalar == batch
+
+    @given(
+        index_units=st.integers(min_value=0, max_value=12_000),
+        num_indices=st.integers(min_value=1, max_value=500),
+        index_bytes=st.sampled_from([1, 2, 4, 8]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_index_fetch(self, index_units, num_indices, index_bytes):
+        index_base = index_units * index_bytes  # must be index-size aligned
+        request = indirect_request(0, num_indices, 4, index_base, index_bytes)
+        scalar = flatten_plans(
+            plan_index_fetch_beats(
+                index_base=index_base,
+                num_indices=num_indices,
+                index_bytes=index_bytes,
+                bus_bytes=BUS,
+                word_bytes=WORD,
+                bus_words=BUS_WORDS,
+                txn_id=request.txn_id,
+                burst_seq=0,
+            )
+        )
+        batch = flatten_batch(batch_index_fetch(request, BUS, WORD, BUS_WORDS))
+        assert scalar == batch
+
+    def test_strided_misalignment_raises_like_scalar(self):
+        request = strided_request(addr=2, num_elements=4, elem_bytes=4,
+                                  stride_elems=2)
+        with pytest.raises(ProtocolError):
+            list(plan_strided_beats(request, WORD, BUS_WORDS, 0))
+        with pytest.raises(ProtocolError):
+            batch_strided(request, WORD, BUS_WORDS)
+
+    def test_indexed_misalignment_raises_like_scalar(self):
+        request = indirect_request(2, 4, 4, 0)
+        with pytest.raises(ProtocolError):
+            plan_indexed_beat(request, 0, [0, 1], WORD, BUS_WORDS, 0)
+        with pytest.raises(ProtocolError):
+            batch_indexed_beat(request, 0, [0, 1], WORD, BUS_WORDS)
+
+
+# --------------------------------------------------------------------------
+# end-to-end stream parity through the controller testbench
+# --------------------------------------------------------------------------
+
+#: One request spec: (kind, parameters...) drawn by the stream strategy.
+_request_specs = st.lists(
+    st.one_of(
+        st.tuples(st.just("contig"), st.integers(0, 700),
+                  st.integers(1, 80), st.booleans()),
+        st.tuples(st.just("narrow"), st.integers(0, 700),
+                  st.integers(1, 40), st.just(False)),
+        st.tuples(st.just("strided"), st.integers(0, 400),
+                  st.integers(1, 48), st.integers(1, 8), st.booleans()),
+        st.tuples(st.just("indirect"), st.integers(0, 400),
+                  st.integers(1, 32), st.booleans()),
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+#: Index pools per indirect burst, reproducibly derived from a drawn seed.
+_seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def _build_stream(specs, seed):
+    """Turn drawn specs into concrete requests + storage image + payloads.
+
+    Returns ``(requests, arrays, payloads)`` where ``arrays`` is a list of
+    ``(addr, numpy array)`` to write into the testbench storage before the
+    run (index arrays and source data) and ``payloads`` maps write txn ids
+    to W payload bytes.
+    """
+    rng = np.random.default_rng(seed)
+    requests = []
+    arrays = []
+    payloads = {}
+    # A data region well inside the 4 MiB testbench storage.
+    data_base = 0x1000
+    index_region = 0x80000
+    for spec in specs:
+        kind = spec[0]
+        if kind == "contig":
+            _, off, count, is_write = spec
+            addr = data_base + off * WORD
+            request = contiguous_request(addr, count, WORD, is_write)
+        elif kind == "narrow":
+            _, off, count, _ = spec
+            addr = data_base + off * WORD
+            request = narrow_request(addr, count, WORD)
+        elif kind == "strided":
+            _, off, count, stride, is_write = spec
+            addr = data_base + off * WORD
+            request = strided_request(addr, count, WORD, stride, is_write)
+        else:
+            _, off, count, is_write = spec
+            base = data_base + off * WORD
+            indices = rng.integers(0, 2048, size=count, dtype=np.uint32)
+            index_base = index_region
+            index_region += count * 4 + 32
+            arrays.append((index_base, indices))
+            request = indirect_request(base, count, WORD, index_base,
+                                       is_write=is_write)
+        if request.is_write:
+            payload = rng.integers(
+                0, 255, size=request.num_beats * BUS, dtype=np.uint8
+            )
+            payloads[request.txn_id] = payload.tobytes()
+        requests.append(request)
+    return requests, arrays, payloads
+
+
+def _run_stream(requests, arrays, payloads, datapath, event_driven, policy):
+    reset_txn_ids()
+    bench = ControllerTestbench(
+        data_policy=policy, datapath=DatapathMode(datapath)
+    )
+    for addr, array in arrays:
+        bench.storage.write_array(addr, array)
+    result = bench.run(
+        requests, write_payloads=payloads, event_driven=event_driven
+    )
+    outcomes = {
+        txn: (outcome.issue_cycle, outcome.complete_cycle,
+              outcome.beats_received, outcome.payload)
+        for txn, outcome in result.outcomes.items()
+    }
+    return (
+        result.cycles,
+        dict(bench.stats.as_dict()),
+        result.r_beats,
+        result.r_useful_bytes,
+        outcomes,
+    )
+
+
+class TestStreamParity:
+    @given(specs=_request_specs, seed=_seeds)
+    @settings(max_examples=12, deadline=None)
+    def test_full_policy_both_engines(self, specs, seed):
+        """Random streams: scalar and batch agree, on both engines (FULL)."""
+        requests, arrays, payloads = _build_stream(specs, seed)
+        reference = _run_stream(requests, arrays, payloads, "scalar", True,
+                                DataPolicy.FULL)
+        for datapath, event in (("batch", True), ("batch", False),
+                                ("scalar", False)):
+            observed = _run_stream(requests, arrays, payloads, datapath,
+                                   event, DataPolicy.FULL)
+            assert observed == reference, (datapath, event)
+
+    @given(specs=_request_specs, seed=_seeds)
+    @settings(max_examples=8, deadline=None)
+    def test_elide_policy_matches_full_geometry(self, specs, seed):
+        """ELIDE runs (both datapaths, both engines) keep FULL's timing.
+
+        This covers the scalar×naive×ELIDE corner of the parity cube, which
+        the headline benchmark does not run.  Payloads are empty under
+        ELIDE, so only the geometry-and-timing fields are compared.
+        """
+        requests, arrays, payloads = _build_stream(specs, seed)
+        full = _run_stream(requests, arrays, payloads, "batch", True,
+                           DataPolicy.FULL)
+        full_timing = full[:4] + (
+            {txn: o[:3] for txn, o in full[4].items()},
+        )
+        for datapath, event in (("batch", True), ("scalar", True),
+                                ("batch", False), ("scalar", False)):
+            observed = _run_stream(requests, arrays, payloads, datapath,
+                                   event, DataPolicy.ELIDE)
+            observed_timing = observed[:4] + (
+                {txn: o[:3] for txn, o in observed[4].items()},
+            )
+            assert observed_timing == full_timing, (datapath, event)
+
+
+# --------------------------------------------------------------------------
+# whole-system A/B
+# --------------------------------------------------------------------------
+
+
+def _run_workload(name, kind, datapath, policy="full", event_driven=True):
+    import os
+
+    from repro.orchestrate.spec import WorkloadSpec
+    from repro.sim.datapath import DATAPATH_ENV
+    from repro.system.config import SystemConfig
+    from repro.system.soc import build_system
+
+    reset_txn_ids()
+    saved = os.environ.get(DATAPATH_ENV)
+    os.environ[DATAPATH_ENV] = datapath
+    try:
+        workload = WorkloadSpec.create(name, size=16, **(
+            {} if name in ("ismt", "gemv", "trmv")
+            else {"avg_nnz_per_row": 8.0}
+        )).build()
+        config = SystemConfig(
+            memory_bytes=1 << 22, data_policy=policy
+        ).with_kind(kind)
+        soc = build_system(config)
+        workload.initialize(soc.storage)
+        program = workload.build_program(config.lowering, config.vector_config())
+        cycles, result = soc.run_program(program, event_driven=event_driven)
+        verified = (
+            workload.verify(soc.storage)
+            if policy == "full" else None
+        )
+        return cycles, dict(soc.stats.as_dict()), result, verified
+    finally:
+        if saved is None:
+            os.environ.pop(DATAPATH_ENV, None)
+        else:
+            os.environ[DATAPATH_ENV] = saved
+
+
+class TestSystemParity:
+    KINDS = ("base", "pack", "ideal")
+
+    @pytest.mark.parametrize("name", ["ismt", "spmv", "csrspmv"])
+    @pytest.mark.parametrize("kind_name", KINDS)
+    def test_workload_parity(self, name, kind_name):
+        from repro.system.config import SystemKind
+
+        kind = SystemKind(kind_name)
+        batch = _run_workload(name, kind, "batch")
+        scalar = _run_workload(name, kind, "scalar")
+        assert batch[:3] == scalar[:3]
+        assert batch[3] is True and scalar[3] is True
+
+    @pytest.mark.parametrize("kind_name", KINDS)
+    def test_cube_corner_scalar_naive_elide(self, kind_name):
+        """spmv at the corner the bench never runs: scalar × naive × ELIDE."""
+        from repro.system.config import SystemKind
+
+        kind = SystemKind(kind_name)
+        reference = _run_workload("spmv", kind, "batch")
+        corner = _run_workload("spmv", kind, "scalar", policy="elide",
+                               event_driven=False)
+        assert corner[:3] == reference[:3]
+
+
+# --------------------------------------------------------------------------
+# mode plumbing
+# --------------------------------------------------------------------------
+
+
+class TestDatapathMode:
+    def test_default_is_batch(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_DATAPATH", raising=False)
+        assert default_datapath_mode() is DatapathMode.BATCH
+
+    def test_env_selects_scalar(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_DATAPATH", "scalar")
+        assert default_datapath_mode() is DatapathMode.SCALAR
+
+    def test_resolve_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            resolve_datapath_mode("vectorised")
+
+    def test_resolve_accepts_mode_and_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_DATAPATH", raising=False)
+        assert resolve_datapath_mode(DatapathMode.SCALAR) is DatapathMode.SCALAR
+        assert resolve_datapath_mode(None) is DatapathMode.BATCH
+        assert resolve_datapath_mode(" Scalar ") is DatapathMode.SCALAR
+
+    def test_adapter_exposes_mode(self):
+        bench = ControllerTestbench(datapath=DatapathMode.SCALAR)
+        assert bench.adapter.datapath is DatapathMode.SCALAR
+        bench = ControllerTestbench()
+        assert bench.adapter.datapath is default_datapath_mode()

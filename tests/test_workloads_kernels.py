@@ -42,8 +42,10 @@ class TestMemoryLayout:
 
 class TestRegistry:
     def test_all_six_workloads_registered(self):
-        assert set(WORKLOAD_ORDER) == set(WORKLOADS)
+        # The paper's six figure benchmarks, plus registered extras.
+        assert set(WORKLOAD_ORDER) <= set(WORKLOADS)
         assert len(WORKLOAD_ORDER) == 6
+        assert "csrspmv" in WORKLOADS
 
     def test_make_workload(self):
         workload = make_workload("spmv", size=16)
@@ -55,7 +57,7 @@ class TestRegistry:
             make_workload("nonsense")
 
 
-@pytest.mark.parametrize("name", WORKLOAD_ORDER)
+@pytest.mark.parametrize("name", WORKLOAD_ORDER + ("csrspmv",))
 @pytest.mark.parametrize("kind", ALL_KINDS)
 class TestEndToEndCorrectness:
     def test_workload_verifies(self, name, kind):
