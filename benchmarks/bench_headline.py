@@ -14,15 +14,20 @@ Two things live here:
    ``DataPolicy.ELIDE``), for FULL once more on the seed-behaviour
    tick-every-cycle engine (``event_driven=False``), and in both policies
    once more on the seed scalar datapath (``REPRO_SIM_DATAPATH=scalar``).
-   Every grid point asserts that cycle counts, statistics and engine
-   measurements are byte-identical across the policy axis, the engine axis
-   *and* the datapath axis, and the run emits a machine-readable
-   ``BENCH_headline.json`` with per-policy cycles/sec and wall time per
-   figure grid point, plus — with ``--history BENCH_history.jsonl``, which
-   CI passes — one JSONL line appended to the cross-PR perf trajectory.
-   CI uploads both as artifacts and gates
-   on per-policy cycles/sec regressions against ``benchmarks/baseline.json``
-   (see ``check_bench_regression.py``).
+   On top of the single-engine grid, ``MULTI_ENGINE_GRID`` adds contention
+   points (rows sharded across 2 engines behind the cycle-level AXI mux,
+   BASE and PACK, SRAM class), each A/B'd across the policy and engine
+   axes.  Every grid point asserts that cycle counts, statistics and
+   engine measurements are byte-identical across all compared axes, and
+   the run emits a machine-readable ``BENCH_headline.json`` with
+   per-policy cycles/sec and wall time per figure grid point, plus — with
+   ``--history BENCH_history.jsonl``, which CI passes — one JSONL line
+   appended to the cross-PR perf trajectory.  CI uploads both as artifacts
+   and gates on per-policy cycles/sec regressions *and per-point cycle
+   identity in both directions* against ``benchmarks/baseline.json`` (see
+   ``check_bench_regression.py``) — the cycle-identity gate is what pins
+   the ``num_engines=1`` topology bit-identical to the committed tree on
+   every grid point.
 
 Run standalone::
 
@@ -160,8 +165,15 @@ DEFAULT_ELIDE_SPEEDUP_FLOOR = float(
 
 
 def _run_point(workload, spec_kwargs, kind, latency, event_driven, verify,
-               data_policy="full", datapath=None):
-    """One grid point: build, simulate, return (cycles, stats, result, wall)."""
+               data_policy="full", datapath=None, engines=1):
+    """One grid point: build, simulate, return (cycles, stats, result, wall).
+
+    ``engines > 1`` runs the point on the multi-engine topology (the
+    workload's rows sharded behind the cycle-level mux); ``result`` is then
+    the list of per-engine measurements.
+    """
+    from dataclasses import replace
+
     from repro.axi.transaction import reset_txn_ids
     from repro.orchestrate.spec import WorkloadSpec
     from repro.sim.datapath import DATAPATH_ENV
@@ -174,11 +186,22 @@ def _run_point(workload, spec_kwargs, kind, latency, event_driven, verify,
     try:
         instance = WorkloadSpec.create(workload, **spec_kwargs).build()
         config = point_system_config(kind, latency, data_policy)
+        if engines != 1:
+            config = replace(config, num_engines=engines)
         soc = build_system(config)
         instance.initialize(soc.storage)
-        program = instance.build_program(config.lowering, config.vector_config())
-        start = time.perf_counter()
-        cycles, result = soc.run_program(program, event_driven=event_driven)
+        if engines == 1:
+            program = instance.build_program(config.lowering,
+                                             config.vector_config())
+            start = time.perf_counter()
+            cycles, result = soc.run_program(program, event_driven=event_driven)
+        else:
+            programs = instance.build_sharded_programs(
+                config.lowering, config.vector_config(), engines
+            )
+            start = time.perf_counter()
+            cycles, result = soc.run_programs(programs,
+                                              event_driven=event_driven)
         wall = time.perf_counter() - start
         verified = instance.verify(soc.storage) if verify else None
         return cycles, dict(soc.stats.as_dict()), result, wall, verified
@@ -188,6 +211,16 @@ def _run_point(workload, spec_kwargs, kind, latency, event_driven, verify,
                 os.environ.pop(DATAPATH_ENV, None)
             else:
                 os.environ[DATAPATH_ENV] = saved_datapath
+
+
+#: Multi-engine grid points: (workload, engines) x systems, SRAM class.
+#: One packed-strided kernel that is bus-bound under PACK plus two indirect
+#: kernels with contention headroom (see repro.analysis.contention).
+MULTI_ENGINE_GRID = (("gemv", 2), ("spmv", 2), ("csrspmv", 2))
+
+#: Systems the multi-engine points cover (IDEAL's exclusive memory is
+#: contention-free by definition).
+MULTI_ENGINE_KINDS = ("base", "pack")
 
 
 def run_engine_benchmark(
@@ -214,6 +247,7 @@ def run_engine_benchmark(
     """
     grid = []
     total_full_wall = 0.0
+    total_full_wall_single = 0.0  #: engines=1 points only (scalar A/B basis)
     total_elide_wall = 0.0
     total_naive_wall = 0.0
     total_scalar_wall = 0.0
@@ -234,6 +268,7 @@ def run_engine_benchmark(
             "system": kind.value,
             "memory": mem_name,
             "memory_latency": latency,
+            "engines": 1,
             "cycles": cycles,
             "wall_s": round(wall, 6),
             "cycles_per_sec": round(cycles / wall, 1) if wall > 0 else None,
@@ -247,6 +282,7 @@ def run_engine_benchmark(
         if verify:
             point["verified"] = bool(verified)
         total_full_wall += wall
+        total_full_wall_single += wall
         total_elide_wall += e_wall
         total_cycles += cycles
         if not identical_policies:
@@ -299,6 +335,78 @@ def run_engine_benchmark(
                     f"cycles {cycles} vs {s_cycles}/{se_cycles}"
                 )
         grid.append(point)
+    # ---------------------------------------------------------- multi-engine
+    # Contention points: rows sharded across N engines behind the cycle-level
+    # mux, SRAM memory class.  The policy and engine axes are asserted
+    # identical exactly like the single-engine points; the scalar-datapath
+    # axis is covered suite-wide by the scalar-parity CI job instead.
+    from repro.system.config import SystemKind
+
+    for workload, engines in MULTI_ENGINE_GRID:
+        spec_kwargs = workload_spec_kwargs(workload, scale)
+        for system in MULTI_ENGINE_KINDS:
+            kind = SystemKind(system)
+            latency = MEMORY_LATENCY["sram"]
+            cycles, stats, result, wall, verified = _run_point(
+                workload, spec_kwargs, kind, latency, True, verify,
+                engines=engines,
+            )
+            e_cycles, e_stats, e_result, e_wall, _ = _run_point(
+                workload, spec_kwargs, kind, latency, True, False,
+                data_policy="elide", engines=engines,
+            )
+            identical_policies = (
+                e_cycles == cycles and e_stats == stats and e_result == result
+            )
+            point = {
+                "workload": workload,
+                "system": system,
+                "memory": "sram",
+                "memory_latency": latency,
+                "engines": engines,
+                "cycles": cycles,
+                "wall_s": round(wall, 6),
+                "cycles_per_sec": round(cycles / wall, 1) if wall > 0 else None,
+                "elide_wall_s": round(e_wall, 6),
+                "elide_cycles_per_sec": (
+                    round(cycles / e_wall, 1) if e_wall > 0 else None
+                ),
+                "elide_speedup": round(wall / e_wall, 3) if e_wall > 0 else None,
+                "identical_to_full": identical_policies,
+            }
+            if verify:
+                point["verified"] = bool(verified)
+            total_full_wall += wall
+            total_elide_wall += e_wall
+            total_cycles += cycles
+            if not identical_policies:
+                raise AssertionError(
+                    f"ELIDE run diverged from FULL run for "
+                    f"{workload}/{system}/sram/engines={engines}: "
+                    f"cycles {cycles} vs {e_cycles}"
+                )
+            if compare_naive:
+                n_cycles, n_stats, n_result, n_wall, _ = _run_point(
+                    workload, spec_kwargs, kind, latency, False, False,
+                    engines=engines,
+                )
+                identical = (
+                    n_cycles == cycles and n_stats == stats
+                    and n_result == result
+                )
+                point["naive_wall_s"] = round(n_wall, 6)
+                point["speedup_vs_naive"] = (
+                    round(n_wall / wall, 3) if wall > 0 else None
+                )
+                point["identical_to_naive"] = identical
+                total_naive_wall += n_wall
+                if not identical:
+                    raise AssertionError(
+                        f"event-driven run diverged from tick-every-cycle run "
+                        f"for {workload}/{system}/sram/engines={engines}: "
+                        f"cycles {cycles} vs {n_cycles}"
+                    )
+            grid.append(point)
     elide_speedup = (
         total_full_wall / total_elide_wall if total_elide_wall > 0 else None
     )
@@ -331,8 +439,10 @@ def run_engine_benchmark(
         payload["totals"]["scalar_elide_wall_s"] = round(
             total_scalar_elide_wall, 6
         )
+        # The scalar A/B only covers the engines=1 points, so its speedup is
+        # measured against the single-engine FULL wall time alone.
         payload["totals"]["datapath_speedup"] = round(
-            total_scalar_wall / total_full_wall, 3
+            total_scalar_wall / total_full_wall_single, 3
         )
     if elide_speedup is not None and elide_speedup < elide_speedup_floor:
         raise AssertionError(
@@ -366,7 +476,12 @@ def test_engine_benchmark_parity_and_speedup(benchmark):
     print(f"datapath speedup     : {payload['totals']['datapath_speedup']:.2f}x")
     assert all(point["identical_to_naive"] for point in payload["grid"])
     assert all(point["identical_to_full"] for point in payload["grid"])
-    assert all(point["identical_to_scalar"] for point in payload["grid"])
+    # Multi-engine points skip the scalar A/B (scalar-parity CI covers it):
+    # absent keys default to passing.
+    assert all(point.get("identical_to_scalar", True)
+               for point in payload["grid"])
+    multi = [point for point in payload["grid"] if point.get("engines", 1) > 1]
+    assert len(multi) == len(MULTI_ENGINE_GRID) * len(MULTI_ENGINE_KINDS)
     assert payload["totals"]["speedup_vs_naive"] > 1.2
 
 

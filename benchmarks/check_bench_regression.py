@@ -9,8 +9,11 @@ calibration scores.  Both data policies are gated: the FULL-mode
 (``cycles_per_sec``) and ELIDE-mode (``elide_cycles_per_sec``) aggregate
 throughputs must each stay within ``--threshold-pct`` (default 20, override
 with ``$REPRO_BENCH_GATE_PCT``) of their calibrated expectations.  The gate
-also fails when any grid point diverged from the tick-every-cycle engine or
-between the two data policies.
+also fails when any grid point diverged from the tick-every-cycle engine,
+between the two data policies, or between the ``num_engines=1`` topology and
+the single-program path — and when any grid point's *cycle count* differs
+from the baseline's (simulated behaviour is deterministic; a cycle change
+must be deliberate and come with a regenerated baseline).
 
 Usage::
 
@@ -97,6 +100,35 @@ def main(argv=None) -> int:
         failures.append(
             f"batch-datapath results diverged from the scalar datapath: "
             f"{datapath_diverged}"
+        )
+    # Cycle-identity gate: simulated cycle counts are deterministic, so any
+    # change on a grid point present in the baseline means the simulated
+    # behaviour changed — which must be deliberate (regenerate the baseline)
+    # rather than an accidental side effect of a perf or topology change.
+    # The gate is bidirectional: a baseline point missing from the current
+    # grid means coverage was (probably accidentally) lost, and fails too.
+    def point_key(p):
+        return (p["workload"], p["system"], p["memory"], p.get("engines", 1))
+
+    baseline_cycles = {point_key(p): p["cycles"]
+                      for p in baseline.get("grid", [])}
+    changed = []
+    matched = 0
+    for p in current.get("grid", []):
+        expect = baseline_cycles.pop(point_key(p), None)
+        if expect is None:
+            continue  # a new grid point; it enters the gate on regeneration
+        matched += 1
+        if p["cycles"] != expect:
+            changed.append(f"{'/'.join(map(str, point_key(p)))}: "
+                           f"{expect} -> {p['cycles']}")
+    print(f"cycle identity: {matched} grid points matched against baseline")
+    if changed:
+        failures.append(f"simulated cycle counts changed vs baseline: {changed}")
+    if baseline_cycles:  # keys never popped: points that vanished
+        missing = sorted("/".join(map(str, key)) for key in baseline_cycles)
+        failures.append(
+            f"baseline grid points missing from the current run: {missing}"
         )
 
     cur_cal = current["calibration_score"]

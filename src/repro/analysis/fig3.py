@@ -85,7 +85,11 @@ def figure_3a(
             comparison.ideal.r_utilization_no_index,
             all(r.verified for r in (comparison.base, comparison.pack, comparison.ideal)),
         )
-    table.add_note(f"scale={scale}, bus={config.bus_bits}b, banks={config.num_banks}")
+    note = f"scale={scale}, bus={config.bus_bits}b, banks={config.num_banks}"
+    if config.num_engines > 1:
+        note += (f", engines={config.num_engines} "
+                 f"(sharded, {config.arbitration} arbitration)")
+    table.add_note(note)
     return table
 
 

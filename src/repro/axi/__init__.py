@@ -29,6 +29,7 @@ from repro.axi.stream import (
 from repro.axi.transaction import BusRequest
 from repro.axi.builder import RequestBuilder
 from repro.axi.monitor import ChannelMonitor
+from repro.axi.mux import CycleAxiDemux, CycleAxiMux
 
 __all__ = [
     "AXI4_MAX_BURST_LEN",
@@ -52,4 +53,6 @@ __all__ = [
     "BusRequest",
     "RequestBuilder",
     "ChannelMonitor",
+    "CycleAxiMux",
+    "CycleAxiDemux",
 ]

@@ -6,11 +6,18 @@ Examples::
     axi-pack-repro run fig3a --scale small --jobs 4
     axi-pack-repro run fig3a --scale paper --timing-only
     axi-pack-repro run fig5c --csv fig5c.csv
+    axi-pack-repro run contention --engines 4 --csv contention.csv
     axi-pack-repro workloads --size 48 --jobs 8
+    axi-pack-repro workloads --workloads csrspmv spmv --engines 2
     axi-pack-repro sweep fig3a fig5a --scale medium --jobs 8
     axi-pack-repro sweep all --no-cache
     axi-pack-repro profile spmv --system pack --scale small --top 25
     axi-pack-repro cache --clear
+
+``--engines N`` (run/sweep/workloads) simulates a multi-requestor SoC: N
+vector engines share one adapter + banked memory behind a cycle-level AXI
+multiplexer, and every workload's rows are sharded across the engines (the
+``contention`` experiment sweeps this topology systematically).
 
 ``--timing-only`` selects ``DataPolicy.ELIDE``: the simulated datapath moves
 no bytes, only geometry, which is markedly faster and produces bit-identical
@@ -52,6 +59,15 @@ def _add_orchestration_options(parser: argparse.ArgumentParser,
                              "result verification (results are marked "
                              "verified=False); cached separately from full "
                              "runs")
+    parser.add_argument("--engines", type=int, default=1, metavar="N",
+                        help="vector engines per SoC: N > 1 shards each "
+                             "workload's rows across N engines sharing one "
+                             "memory system behind a cycle-level AXI mux "
+                             "(default: 1, the paper's topology)")
+    parser.add_argument("--arbitration", choices=["rr", "qos"], default="rr",
+                        help="mux arbitration with --engines > 1: 'rr' "
+                             "round-robin or 'qos' static priority, engine 0 "
+                             "highest (default: rr)")
     parser.add_argument("--cache", action=argparse.BooleanOptionalAction,
                         default=None,
                         help="reuse cached simulation results and store new ones "
@@ -103,6 +119,12 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="matrix dimension / sparse row count")
     wl_parser.add_argument("--no-verify", action="store_true",
                            help="skip checking results against references")
+    wl_parser.add_argument("--workloads", nargs="+", metavar="NAME",
+                           default=None,
+                           help="workloads to run; accepts any registry name "
+                                "(default: the full registry — paper-figure "
+                                "workloads first, then the extras the figure "
+                                "grids exclude)")
     _add_orchestration_options(wl_parser, cache_default=False)
 
     profile_parser = subparsers.add_parser(
@@ -153,9 +175,14 @@ def _system_config(args: argparse.Namespace) -> SystemConfig:
     """The system configuration implied by the CLI flags."""
     from repro.sim.policy import DataPolicy
 
+    kwargs = {}
     if getattr(args, "timing_only", False):
-        return SystemConfig(data_policy=DataPolicy.ELIDE)
-    return SystemConfig()
+        kwargs["data_policy"] = DataPolicy.ELIDE
+    if getattr(args, "engines", 1) != 1:
+        kwargs["num_engines"] = args.engines
+    if getattr(args, "arbitration", "rr") != "rr":
+        kwargs["arbitration"] = args.arbitration
+    return SystemConfig(**kwargs)
 
 
 def _make_runner(args: argparse.Namespace) -> ParallelRunner:
@@ -256,23 +283,43 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _registry_workload_order() -> List[str]:
+    """Every registered workload: figure-grid names first, then the extras."""
+    from repro.workloads.registry import WORKLOADS
+
+    extras = sorted(set(WORKLOADS) - set(WORKLOAD_ORDER))
+    return list(WORKLOAD_ORDER) + extras
+
+
 def _cmd_workloads(args: argparse.Namespace) -> int:
     from repro.orchestrate.spec import WorkloadSpec
+    from repro.workloads.registry import WORKLOADS
 
+    names = args.workloads or _registry_workload_order()
+    unknown = [name for name in names if name not in WORKLOADS]
+    if unknown:
+        print(f"error: unknown workload(s) {unknown}; "
+              f"available: {sorted(WORKLOADS)}", file=sys.stderr)
+        return 2
     config = _system_config(args)
     policy_note = " [timing-only]" if config.elides_data else ""
-    print(f"Running {len(WORKLOAD_ORDER)} workloads at size {args.size} "
+    engine_note = f", {config.num_engines} engines" if config.num_engines > 1 else ""
+    print(f"Running {len(names)} workloads at size {args.size} "
           f"on BASE / PACK / IDEAL ({config.bus_bits}-bit bus, "
-          f"{config.num_banks} banks){policy_note}")
-    specs = [WorkloadSpec.create(name, size=args.size) for name in WORKLOAD_ORDER]
+          f"{config.num_banks} banks{engine_note}){policy_note}")
+    extras = [name for name in names if name not in WORKLOAD_ORDER]
+    if extras:
+        print("  note: excluded from the paper-figure grids (fig3*/fig4c run "
+              f"WORKLOAD_ORDER only): {', '.join(extras)}")
+    specs = [WorkloadSpec.create(name, size=args.size) for name in names]
     with _make_runner(args) as runner:
         comparisons = compare_systems_many(
             specs, config, verify=not args.no_verify and not config.elides_data,
             runner=runner,
         )
-        for name in WORKLOAD_ORDER:
+        for name in names:
             comparison = comparisons[name]
-            print(f"  {name:<6s} speedup={comparison.pack_speedup:5.2f}x "
+            print(f"  {name:<8s} speedup={comparison.pack_speedup:5.2f}x "
                   f"(ideal {comparison.ideal_speedup:5.2f}x)  "
                   f"R util base/pack/ideal = "
                   f"{comparison.base.r_utilization:5.1%} / "

@@ -47,7 +47,7 @@ def engine_result_from_dict(data: Mapping[str, Any]) -> EngineResult:
 
 def system_run_result_to_dict(result: SystemRunResult) -> Dict[str, Any]:
     """Flatten a :class:`SystemRunResult` into JSON-safe plain data."""
-    return {
+    payload = {
         "workload": result.workload,
         "kind": result.kind.value,
         "cycles": _plain_number(result.cycles),
@@ -55,10 +55,16 @@ def system_run_result_to_dict(result: SystemRunResult) -> Dict[str, Any]:
         "stats": {key: _plain_number(value) for key, value in result.stats.items()},
         "verified": result.verified,
     }
+    if result.engines is not None:
+        payload["engines"] = [
+            engine_result_to_dict(engine) for engine in result.engines
+        ]
+    return payload
 
 
 def system_run_result_from_dict(data: Mapping[str, Any]) -> SystemRunResult:
     """Rebuild a :class:`SystemRunResult` from its JSON form."""
+    engines = data.get("engines")
     return SystemRunResult(
         workload=data["workload"],
         kind=SystemKind(data["kind"]),
@@ -66,4 +72,8 @@ def system_run_result_from_dict(data: Mapping[str, Any]) -> SystemRunResult:
         engine=engine_result_from_dict(data["engine"]),
         stats=dict(data["stats"]),
         verified=data["verified"],
+        engines=(
+            None if engines is None
+            else [engine_result_from_dict(engine) for engine in engines]
+        ),
     )

@@ -34,7 +34,11 @@ from repro.version import __version__
 #: 2: ``SystemConfig`` grew ``data_policy`` — every fingerprint now names the
 #: policy explicitly, so a FULL result can never serve an ELIDE request (or
 #: vice versa) and pre-policy entries are unreachable/prunable.
-CACHE_SCHEMA_VERSION = 2
+#: 3: ``SystemConfig`` grew ``num_engines``/``arbitration`` (the multi-engine
+#: topology) — fingerprints now name the requestor count and arbitration
+#: policy, and results carry the per-engine breakdown, so pre-topology
+#: entries are unreachable/prunable.
+CACHE_SCHEMA_VERSION = 3
 
 
 def canonicalize(value: Any) -> Any:

@@ -49,6 +49,14 @@ class SystemConfig:
     with bit-identical cycle counts and statistics.  The default honours
     ``$REPRO_DATA_POLICY``; a policy name string (``"elide"``) is accepted
     and coerced.
+
+    ``num_engines`` selects the SoC topology: with the default ``1`` the
+    vector engine connects directly to the memory system, exactly as in the
+    paper's evaluation; with ``N > 1`` the SoC instantiates N vector
+    engines whose AXI ports share one adapter + banked memory behind a
+    cycle-level N:1 multiplexer (:class:`repro.axi.mux.CycleAxiMux`) using
+    the ``arbitration`` policy (``"rr"`` round-robin or ``"qos"`` static
+    priority, port 0 highest).
     """
 
     kind: SystemKind = SystemKind.PACK
@@ -61,12 +69,20 @@ class SystemConfig:
     ideal_latency: int = 2
     vector: Optional[VectorEngineConfig] = None
     data_policy: Union[DataPolicy, str] = field(default_factory=default_data_policy)
+    num_engines: int = 1
+    arbitration: str = "rr"
 
     def __post_init__(self) -> None:
         if not is_power_of_two(self.bus_bytes):
             raise ConfigurationError("bus width must be a power of two in bytes")
         if self.bus_bytes < self.word_bytes:
             raise ConfigurationError("bus must be at least one word wide")
+        if self.num_engines < 1:
+            raise ConfigurationError("a SoC needs at least one vector engine")
+        if self.arbitration not in ("rr", "qos"):
+            raise ConfigurationError(
+                f"unknown arbitration {self.arbitration!r}; choose 'rr' or 'qos'"
+            )
         if not isinstance(self.data_policy, DataPolicy):
             try:
                 resolved = resolve_data_policy(self.data_policy)
@@ -127,3 +143,10 @@ class SystemConfig:
     def with_data_policy(self, policy: Union[DataPolicy, str]) -> "SystemConfig":
         """A copy of this configuration under a different data policy."""
         return replace(self, data_policy=resolve_data_policy(policy))
+
+    def with_engines(self, num_engines: int,
+                     arbitration: Optional[str] = None) -> "SystemConfig":
+        """A copy of this configuration with a different requestor count."""
+        if arbitration is None:
+            return replace(self, num_engines=num_engines)
+        return replace(self, num_engines=num_engines, arbitration=arbitration)

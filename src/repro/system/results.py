@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional
+from typing import Dict, List, Mapping, Optional
 
 from repro.system.config import SystemKind
 from repro.vector.engine import EngineResult
@@ -11,7 +11,13 @@ from repro.vector.engine import EngineResult
 
 @dataclass
 class SystemRunResult:
-    """Everything measured when one workload ran on one system."""
+    """Everything measured when one workload ran on one system.
+
+    For multi-engine runs ``engine`` holds the aggregate measurement
+    (summed traffic over the shared bus, see :meth:`EngineResult.aggregate`)
+    and ``engines`` the per-engine breakdown in engine order; single-engine
+    runs leave ``engines`` as ``None``.
+    """
 
     workload: str
     kind: SystemKind
@@ -19,6 +25,12 @@ class SystemRunResult:
     engine: EngineResult
     stats: Mapping[str, float] = field(default_factory=dict)
     verified: Optional[bool] = None
+    engines: Optional[List[EngineResult]] = None
+
+    @property
+    def num_engines(self) -> int:
+        """How many vector engines produced this result."""
+        return 1 if self.engines is None else len(self.engines)
 
     @property
     def r_utilization(self) -> float:

@@ -46,13 +46,25 @@ def run_workload(
         skipped regardless and the result is explicitly marked
         ``verified=False``.
     """
+    from repro.vector.engine import EngineResult
+
     config = config or SystemConfig()
     if kind is not None:
         config = config.with_kind(kind)
     soc = build_system(config)
     workload.initialize(soc.storage)
-    program = workload.build_program(config.lowering, config.vector_config())
-    cycles, engine_result = soc.run_program(program, max_cycles=max_cycles)
+    if config.num_engines == 1:
+        program = workload.build_program(config.lowering, config.vector_config())
+        cycles, engine_result = soc.run_program(program, max_cycles=max_cycles)
+        engines = None
+    else:
+        # Multi-engine topology: the sharded driver splits the workload's
+        # rows/segments into one program per engine over the shared image.
+        programs = workload.build_sharded_programs(
+            config.lowering, config.vector_config(), config.num_engines
+        )
+        cycles, engines = soc.run_programs(programs, max_cycles=max_cycles)
+        engine_result = EngineResult.aggregate(engines, cycles)
     if config.elides_data:
         verified: Optional[bool] = False
     else:
@@ -64,6 +76,7 @@ def run_workload(
         engine=engine_result,
         stats=soc.stats.as_dict(),
         verified=verified,
+        engines=engines,
     )
 
 

@@ -1,12 +1,29 @@
-"""SoC assembly: wires the vector engine to the right memory system."""
+"""SoC assembly: wires the vector engine(s) to the right memory system.
+
+Topologies
+----------
+With ``num_engines == 1`` (the paper's evaluation systems) the vector
+engine's AXI port connects *directly* to the adapter / ideal endpoint —
+byte-identical wiring, cycle counts and statistics to the single-requestor
+model this repo always had.
+
+With ``num_engines == N > 1`` the SoC instantiates N vector engines, each
+with a private AXI port, merged onto one shared endpoint port by a
+cycle-level :class:`~repro.axi.mux.CycleAxiMux` (round-robin or QoS
+arbitration on AR/AW, transaction-id routed R/B returns, W beats in AW
+order).  The adapter and banked memory are shared, which is what makes the
+contention/fairness scenario family measurable: N requestors fighting over
+one packed bus and one bank crossbar.
+"""
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
+from repro.axi.mux import CycleAxiMux
 from repro.axi.port import AxiPort, AxiPortConfig
 from repro.controller.adapter import AxiPackAdapter
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.mem.banked import BankedMemory
 from repro.mem.ideal import IdealMemoryEndpoint
 from repro.mem.storage import MemoryStorage
@@ -22,15 +39,35 @@ class Soc:
 
     A :class:`Soc` owns the memory image (so workloads can initialize their
     data before running and inspect it afterwards) and builds a fresh
-    simulation engine for every program executed on it.
+    simulation engine for every program executed on it.  Component state
+    and statistics are reset at the start of every run, so back-to-back
+    ``run_program`` calls on one :class:`Soc` report identical measurements
+    (the memory image is deliberately *not* reset — workloads own it).
     """
 
     def __init__(self, config: SystemConfig) -> None:
         self.config = config
         self.data_policy = config.data_policy
+        self.num_engines = config.num_engines
         self.storage = MemoryStorage(config.memory_bytes)
         self.stats = StatsRegistry()
-        self.port = AxiPort("cpu", config.bus_bytes, AxiPortConfig())
+        if config.num_engines == 1:
+            # Direct wiring: the seed topology, bit-identical to the
+            # single-requestor model (no mux hop on any channel).
+            self.port = AxiPort("cpu", config.bus_bytes, AxiPortConfig())
+            self.ports: List[AxiPort] = [self.port]
+            self.mux: Optional[CycleAxiMux] = None
+        else:
+            self.ports = [
+                AxiPort(f"cpu{index}", config.bus_bytes, AxiPortConfig())
+                for index in range(config.num_engines)
+            ]
+            #: the shared endpoint-side port behind the mux
+            self.port = AxiPort("shared", config.bus_bytes, AxiPortConfig())
+            self.mux = CycleAxiMux(
+                "mux", self.ports, self.port,
+                arbitration=config.arbitration, stats=self.stats,
+            )
         if config.kind is SystemKind.IDEAL:
             self.memory = None
             self.endpoint = IdealMemoryEndpoint(
@@ -53,45 +90,131 @@ class Soc:
         """Which of the three evaluation systems this is."""
         return self.config.kind
 
+    # ------------------------------------------------------------------ runs
+    def _reset_for_run(self) -> None:
+        """Restore every reusable piece of the SoC to its post-build state.
+
+        Statistics, component state (adapter converters, channel monitors,
+        arbitration pointers, bank round-robin state) and the AXI channel
+        queues are all owned by the :class:`Soc` and survive across runs;
+        without this reset a second ``run_program`` on the same SoC would
+        accumulate stats across runs and could observe stale queue state.
+        A run that completed normally leaves every queue drained — anything
+        else means the previous run was aborted mid-flight, which the reset
+        recovers from by clearing the queues (the memory image is left
+        untouched either way).
+        """
+        self.stats.reset()
+        self.endpoint.reset()
+        if self.memory is not None:
+            self.memory.reset()
+        if self.mux is not None:
+            self.mux.reset()
+        ports = self.ports if self.mux is None else [*self.ports, self.port]
+        for port in ports:
+            for queue in port.all_queues():
+                if not queue.is_empty():
+                    queue.clear()
+
+    def _check_drained(self) -> None:
+        """Assert the per-run queue contract: every channel ends empty."""
+        ports = self.ports if self.mux is None else [*self.ports, self.port]
+        stuck = [
+            queue.name
+            for port in ports
+            for queue in port.all_queues()
+            if not queue.is_empty()
+        ]
+        if stuck:
+            raise SimulationError(
+                f"run completed with undrained AXI channel queues: {stuck}"
+            )
+
     def run_program(
         self,
-        program: Program,
+        program: Union[Program, Sequence[Program]],
         max_cycles: int = 50_000_000,
         event_driven: Optional[bool] = None,
-    ) -> Tuple[int, EngineResult]:
-        """Execute a vector program to completion; return (cycles, result).
+    ) -> Tuple[int, Union[EngineResult, List[EngineResult]]]:
+        """Execute vector program(s) to completion; return (cycles, result).
 
-        ``event_driven`` selects the engine mode (None = the
-        ``REPRO_SIM_ENGINE`` environment default).  The event-driven mode
-        skips globally idle windows and produces identical cycle counts and
-        statistics; ``event_driven=False`` forces the seed tick-every-cycle
-        behaviour for A/B comparisons (see ``benchmarks/bench_headline.py``).
+        ``program`` is either a single :class:`Program` (single-engine SoCs;
+        the result is one :class:`EngineResult`, exactly the historical API)
+        or a sequence of per-engine programs, one per vector engine (the
+        result is a list of per-engine :class:`EngineResult` in engine
+        order).  ``event_driven`` selects the engine mode (None = the
+        ``REPRO_SIM_ENGINE`` environment default); both modes produce
+        identical cycle counts and statistics.
         """
-        if program.mode is not self.config.lowering:
+        if isinstance(program, Program):
+            if self.num_engines != 1:
+                raise ConfigurationError(
+                    f"this SoC has {self.num_engines} engines; pass one "
+                    "program per engine (see Workload.build_sharded_programs)"
+                )
+            cycles, results = self.run_programs([program], max_cycles, event_driven)
+            return cycles, results[0]
+        return self.run_programs(list(program), max_cycles, event_driven)
+
+    def run_programs(
+        self,
+        programs: Sequence[Program],
+        max_cycles: int = 50_000_000,
+        event_driven: Optional[bool] = None,
+    ) -> Tuple[int, List[EngineResult]]:
+        """Execute one program per vector engine; return (cycles, results)."""
+        if len(programs) != self.num_engines:
             raise ConfigurationError(
-                f"program was built for the {program.mode.value.upper()} system "
-                f"but this SoC is {self.kind.value.upper()}"
+                f"got {len(programs)} programs for {self.num_engines} engines"
             )
+        for program in programs:
+            if program.mode is not self.config.lowering:
+                raise ConfigurationError(
+                    f"program was built for the {program.mode.value.upper()} "
+                    f"system but this SoC is {self.kind.value.upper()}"
+                )
+        self._reset_for_run()
         engine = Engine(event_driven=event_driven)
-        vector = VectorEngine(
-            "ara", program, self.port, self.config.vector_config(),
-            self.config.lowering, data_policy=self.data_policy,
-            storage=self.storage,
-        )
+        vector_config = self.config.vector_config()
+        if self.num_engines == 1:
+            names = ["ara"]
+        else:
+            names = [f"ara{index}" for index in range(self.num_engines)]
+        vectors = [
+            VectorEngine(
+                name, program, port, vector_config,
+                self.config.lowering, data_policy=self.data_policy,
+                storage=self.storage,
+            )
+            for name, program, port in zip(names, programs, self.ports)
+        ]
         # Registration wires the wake machinery: each component subscribes to
         # the queues named by its ``wake_queues`` (the AXI port channels, the
         # banked memory's request/response queues), and registered queues act
         # as the engine's dirty/wake lists.
-        engine.add_component(vector)
+        for vector in vectors:
+            engine.add_component(vector)
+        if self.mux is not None:
+            engine.add_component(self.mux)
         engine.add_component(self.endpoint)
         if self.memory is not None:
             engine.add_component(self.memory)
             for queue in self.memory.all_queues():
                 engine.add_queue(queue)
-        for queue in self.port.all_queues():
-            engine.add_queue(queue)
-        cycles = engine.run_until(vector.done, max_cycles=max_cycles)
-        return cycles, vector.result(cycles)
+        for port in self.ports:
+            for queue in port.all_queues():
+                engine.add_queue(queue)
+        if self.mux is not None:
+            for queue in self.port.all_queues():
+                engine.add_queue(queue)
+        if len(vectors) == 1:
+            done = vectors[0].done
+        else:
+            def done() -> bool:
+                return all(vector.done() for vector in vectors)
+        cycles = engine.run_until(done, max_cycles=max_cycles)
+        self._check_drained()
+        return cycles, [vector.result(cycles) for vector in vectors]
 
 
 def build_system(config: SystemConfig) -> Soc:

@@ -155,6 +155,29 @@ class EngineResult:
     w_useful_bytes: int
     bus_bytes: int
 
+    @classmethod
+    def aggregate(cls, results: "List[EngineResult]", cycles: int) -> "EngineResult":
+        """Combine per-engine measurements of one multi-engine run.
+
+        Traffic counts are summed across engines while ``cycles`` is the
+        shared wall time of the run, so the utilization properties measure
+        the *aggregate* traffic over the one shared downstream bus — the
+        contention metric a multi-requestor topology is judged by.
+        """
+        if not results:
+            raise SimulationError("cannot aggregate an empty result list")
+        return cls(
+            cycles=cycles,
+            instructions=sum(r.instructions for r in results),
+            r_beats=sum(r.r_beats for r in results),
+            r_useful_bytes=sum(r.r_useful_bytes for r in results),
+            r_data_bytes=sum(r.r_data_bytes for r in results),
+            r_index_bytes=sum(r.r_index_bytes for r in results),
+            w_beats=sum(r.w_beats for r in results),
+            w_useful_bytes=sum(r.w_useful_bytes for r in results),
+            bus_bytes=results[0].bus_bytes,
+        )
+
     @property
     def r_utilization(self) -> float:
         """R-channel utilization including index traffic."""

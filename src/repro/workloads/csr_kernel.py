@@ -48,10 +48,19 @@ def build_csr_rowwise(
     addr_x: int,
     addr_y: int,
     spec: CsrKernelSpec,
+    row_lo: int = 0,
+    row_hi: Optional[int] = None,
 ) -> None:
-    """Emit the row-wise CSR kernel into ``builder``."""
+    """Emit the row-wise CSR kernel for rows ``[row_lo, row_hi)``.
+
+    The default range covers the whole matrix; the multi-engine sharded
+    driver passes disjoint ranges so each engine walks (and stores) its own
+    rows of the shared image.
+    """
     mode = builder.mode
-    for row in range(matrix.num_rows):
+    if row_hi is None:
+        row_hi = matrix.num_rows
+    for row in range(row_lo, row_hi):
         start = int(matrix.row_ptr[row])
         end = int(matrix.row_ptr[row + 1])
         nnz = end - start

@@ -73,12 +73,26 @@ class CsrSpmvStreamWorkload(Workload):
     # --------------------------------------------------------------- program
     def build_program(self, mode: LoweringMode,
                       config: VectorEngineConfig) -> Program:
+        return self.build_program_rows(mode, config, 0, self.matrix.num_rows)
+
+    def shard_rows(self) -> int:
+        return self.matrix.num_rows
+
+    def build_program_rows(self, mode: LoweringMode,
+                           config: VectorEngineConfig,
+                           row_lo: int, row_hi: int) -> Program:
         builder = AraProgramBuilder(self.name, mode, config)
         matrix = self.matrix
-        nnz = matrix.nnz
-        # Pass 1: stream the whole nonzero set through the gather path.
+        # A shard streams the nonzeros of its own rows (contiguous in CSR)
+        # and reduces its own row segments; the ordered store at the end of
+        # its pass 1 fences only its own pass 2, which is sufficient because
+        # a shard never reads another shard's products.
+        nnz_lo = int(matrix.row_ptr[row_lo])
+        nnz_hi = int(matrix.row_ptr[row_hi])
+        nnz = nnz_hi - nnz_lo
+        # Pass 1: stream the shard's nonzero range through the gather path.
         if nnz:
-            offset = 0
+            offset = nnz_lo
             for chunk in builder.strip_mine(nnz):
                 values_addr = self.addr_values + offset * 4
                 idx_addr = self.addr_col_idx + offset * 4
@@ -99,13 +113,13 @@ class CsrSpmvStreamWorkload(Workload):
                 # hazard the builder's register tracking cannot see; the
                 # final store is ordered so it fences pass 2 behind every
                 # product store (same mechanism as ismt's in-place stores).
-                last_chunk = offset + chunk >= nnz
+                last_chunk = offset + chunk >= nnz_hi
                 builder.vse32("v3", self.addr_products + offset * 4, chunk,
                               ordered=last_chunk,
                               label=f"store products @{offset}")
                 offset += chunk
         # Pass 2: reduce each row's product segment to y[row].
-        for row in range(matrix.num_rows):
+        for row in range(row_lo, row_hi):
             start = int(matrix.row_ptr[row])
             end = int(matrix.row_ptr[row + 1])
             row_nnz = end - start

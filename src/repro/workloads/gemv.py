@@ -63,17 +63,25 @@ class GemvWorkload(Workload):
 
     def build_program(self, mode: LoweringMode,
                       config: VectorEngineConfig) -> Program:
+        return self.build_program_rows(mode, config, 0, self.n)
+
+    def shard_rows(self) -> int:
+        return self.n
+
+    def build_program_rows(self, mode: LoweringMode,
+                           config: VectorEngineConfig,
+                           row_lo: int, row_hi: int) -> Program:
         if self.chosen_dataflow(mode) == "row":
-            return self._build_rowwise(mode, config)
-        return self._build_colwise(mode, config)
+            return self._build_rowwise(mode, config, row_lo, row_hi)
+        return self._build_colwise(mode, config, row_lo, row_hi)
 
     # ------------------------------------------------------------- row-wise
-    def _build_rowwise(self, mode: LoweringMode,
-                       config: VectorEngineConfig) -> Program:
+    def _build_rowwise(self, mode: LoweringMode, config: VectorEngineConfig,
+                       row_lo: int, row_hi: int) -> Program:
         n = self.n
         builder = AraProgramBuilder(f"{self.name}-row", mode, config)
-        x_chunks = self._load_x_chunks(builder)
-        for i in range(n):
+        x_chunks = self._load_x_chunks(builder) if row_hi > row_lo else []
+        for i in range(row_lo, row_hi):
             builder.scalar(self.scalar_overhead, label=f"row {i} bookkeeping")
             partials: List[str] = []
             for chunk_index, (x_reg, offset, chunk) in enumerate(x_chunks):
@@ -88,12 +96,14 @@ class GemvWorkload(Workload):
         return builder.build()
 
     # ------------------------------------------------------------- col-wise
-    def _build_colwise(self, mode: LoweringMode,
-                       config: VectorEngineConfig) -> Program:
+    def _build_colwise(self, mode: LoweringMode, config: VectorEngineConfig,
+                       row_lo: int, row_hi: int) -> Program:
         n = self.n
         builder = AraProgramBuilder(f"{self.name}-col", mode, config)
-        offset = 0
-        for chunk in builder.strip_mine(n):
+        if row_hi <= row_lo:
+            return builder.build()
+        offset = row_lo
+        for chunk in builder.strip_mine(row_hi - row_lo):
             builder.scalar(self.scalar_overhead, label="y chunk setup")
             builder.vmv_vx("v4", 0.0, chunk, label="clear accumulator")
             for j in range(n):

@@ -45,10 +45,21 @@ class IsmtWorkload(Workload):
     # --------------------------------------------------------------- program
     def build_program(self, mode: LoweringMode,
                       config: VectorEngineConfig) -> Program:
+        return self.build_program_rows(mode, config, 0, max(0, self.n - 1))
+
+    def shard_rows(self) -> int:
+        # Iteration i swaps the strictly-upper/lower pair segments of row i;
+        # each (i, j) pair is touched by exactly one iteration, so disjoint
+        # iteration ranges touch disjoint memory and shard cleanly.
+        return max(0, self.n - 1)
+
+    def build_program_rows(self, mode: LoweringMode,
+                           config: VectorEngineConfig,
+                           row_lo: int, row_hi: int) -> Program:
         n = self.n
         builder = AraProgramBuilder(self.name, mode, config)
         elem = 4
-        for i in range(n - 1):
+        for i in range(row_lo, row_hi):
             length = n - 1 - i
             row_base = self.addr_a + (i * n + i + 1) * elem
             col_base = self.addr_a + ((i + 1) * n + i) * elem

@@ -67,6 +67,14 @@ class PageRankWorkload(Workload):
     # --------------------------------------------------------------- program
     def build_program(self, mode: LoweringMode,
                       config: VectorEngineConfig) -> Program:
+        return self.build_program_rows(mode, config, 0, self.matrix.num_rows)
+
+    def shard_rows(self) -> int:
+        return self.matrix.num_rows
+
+    def build_program_rows(self, mode: LoweringMode,
+                           config: VectorEngineConfig,
+                           row_lo: int, row_hi: int) -> Program:
         builder = AraProgramBuilder(self.name, mode, config)
         damping = np.float32(self.damping)
         teleport = np.float32((1.0 - self.damping) / self.matrix.num_rows)
@@ -83,7 +91,8 @@ class PageRankWorkload(Workload):
         spec = CsrKernelSpec(combine="mul", reduce="sum",
                              scalar_overhead=self.scalar_overhead, post_row=damp)
         build_csr_rowwise(builder, self.matrix, self.addr_values,
-                          self.addr_col_idx, self.addr_ranks, self.addr_out, spec)
+                          self.addr_col_idx, self.addr_ranks, self.addr_out, spec,
+                          row_lo=row_lo, row_hi=row_hi)
         return builder.build()
 
     # ---------------------------------------------------------------- verify

@@ -54,11 +54,20 @@ class SpmvWorkload(Workload):
     # --------------------------------------------------------------- program
     def build_program(self, mode: LoweringMode,
                       config: VectorEngineConfig) -> Program:
+        return self.build_program_rows(mode, config, 0, self.matrix.num_rows)
+
+    def shard_rows(self) -> int:
+        return self.matrix.num_rows
+
+    def build_program_rows(self, mode: LoweringMode,
+                           config: VectorEngineConfig,
+                           row_lo: int, row_hi: int) -> Program:
         builder = AraProgramBuilder(self.name, mode, config)
         spec = CsrKernelSpec(combine="mul", reduce="sum",
                              scalar_overhead=self.scalar_overhead)
         build_csr_rowwise(builder, self.matrix, self.addr_values,
-                          self.addr_col_idx, self.addr_x, self.addr_y, spec)
+                          self.addr_col_idx, self.addr_x, self.addr_y, spec,
+                          row_lo=row_lo, row_hi=row_hi)
         return builder.build()
 
     # ---------------------------------------------------------------- verify

@@ -75,6 +75,14 @@ class SsspWorkload(Workload):
     # --------------------------------------------------------------- program
     def build_program(self, mode: LoweringMode,
                       config: VectorEngineConfig) -> Program:
+        return self.build_program_rows(mode, config, 0, self.matrix.num_rows)
+
+    def shard_rows(self) -> int:
+        return self.matrix.num_rows
+
+    def build_program_rows(self, mode: LoweringMode,
+                           config: VectorEngineConfig,
+                           row_lo: int, row_hi: int) -> Program:
         builder = AraProgramBuilder(self.name, mode, config)
         dist = self.dist
 
@@ -93,7 +101,8 @@ class SsspWorkload(Workload):
                              scalar_overhead=self.scalar_overhead,
                              post_row=clamp_with_current)
         build_csr_rowwise(builder, self.matrix, self.addr_weights,
-                          self.addr_col_idx, self.addr_dist, self.addr_dist_out, spec)
+                          self.addr_col_idx, self.addr_dist, self.addr_dist_out,
+                          spec, row_lo=row_lo, row_hi=row_hi)
         return builder.build()
 
     # ---------------------------------------------------------------- verify

@@ -56,14 +56,24 @@ class TrmvWorkload(Workload):
 
     def build_program(self, mode: LoweringMode,
                       config: VectorEngineConfig) -> Program:
-        if self.chosen_dataflow(mode) == "row":
-            return self._build_rowwise(mode, config)
-        return self._build_colwise(mode, config)
+        return self.build_program_rows(mode, config, 0, self.n)
 
-    def _build_rowwise(self, mode: LoweringMode,
-                       config: VectorEngineConfig) -> Program:
+    def shard_rows(self) -> int:
+        return self.n
+
+    def build_program_rows(self, mode: LoweringMode,
+                           config: VectorEngineConfig,
+                           row_lo: int, row_hi: int) -> Program:
+        if self.chosen_dataflow(mode) == "row":
+            return self._build_rowwise(mode, config, row_lo, row_hi)
+        return self._build_colwise(mode, config, row_lo, row_hi)
+
+    def _build_rowwise(self, mode: LoweringMode, config: VectorEngineConfig,
+                       row_lo: int, row_hi: int) -> Program:
         n = self.n
         builder = AraProgramBuilder(f"{self.name}-row", mode, config)
+        if row_hi <= row_lo:
+            return builder.build()
         # x is preloaded once and kept in registers across all rows (it fits a
         # register group); each row multiplies against the matching slice.
         x_regs = []
@@ -74,7 +84,7 @@ class TrmvWorkload(Workload):
                           label=f"preload x chunk {index}")
             x_regs.append((reg, x_offset, chunk))
             x_offset += chunk
-        for i in range(n):
+        for i in range(row_lo, row_hi):
             length = n - i
             builder.scalar(self.scalar_overhead, label=f"row {i} bookkeeping")
             partials: List[str] = []
@@ -101,15 +111,15 @@ class TrmvWorkload(Workload):
             builder.vse32(result, self.addr_y + i * 4, 1, label=f"store y[{i}]")
         return builder.build()
 
-    def _build_colwise(self, mode: LoweringMode,
-                       config: VectorEngineConfig) -> Program:
+    def _build_colwise(self, mode: LoweringMode, config: VectorEngineConfig,
+                       row_lo: int, row_hi: int) -> Program:
         n = self.n
         builder = AraProgramBuilder(f"{self.name}-col", mode, config)
         max_vl = builder.max_vl
         # Process y in chunks of rows; column j only contributes to rows <= j.
-        row_start = 0
-        while row_start < n:
-            chunk = min(max_vl, n - row_start)
+        row_start = row_lo
+        while row_start < row_hi:
+            chunk = min(max_vl, row_hi - row_start)
             builder.scalar(self.scalar_overhead, label="y chunk setup")
             builder.vmv_vx("v4", 0.0, chunk, label="clear accumulator")
             for j in range(row_start, n):

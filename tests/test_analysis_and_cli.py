@@ -43,9 +43,10 @@ class TestReport:
 
 
 class TestExperimentRegistry:
-    def test_all_eleven_figures_registered(self):
+    def test_all_experiments_registered(self):
         expected = {"fig3a", "fig3b", "fig3c", "fig3d", "fig3e",
-                    "fig4a", "fig4b", "fig4c", "fig5a", "fig5b", "fig5c"}
+                    "fig4a", "fig4b", "fig4c", "fig5a", "fig5b", "fig5c",
+                    "contention"}
         assert set(EXPERIMENTS) == expected
 
     def test_unknown_experiment_rejected(self):
@@ -98,3 +99,32 @@ class TestCli:
         out = capsys.readouterr().out
         assert "speedup" in out
         assert "ismt" in out and "sssp" in out
+        # The full registry runs by default, with a note for the workloads
+        # the paper-figure grids exclude.
+        assert "csrspmv" in out
+        assert "excluded from the paper-figure grids" in out
+
+    def test_workloads_filter_selects_registry_names(self, capsys):
+        assert main(["workloads", "--size", "12", "--no-verify",
+                     "--workloads", "gemv", "csrspmv"]) == 0
+        out = capsys.readouterr().out
+        assert "gemv" in out and "csrspmv" in out
+        assert "ismt" not in out
+
+    def test_workloads_filter_rejects_unknown_name(self, capsys):
+        assert main(["workloads", "--workloads", "nosuch"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_workloads_command_multi_engine(self, capsys):
+        assert main(["workloads", "--size", "12", "--workloads", "spmv",
+                     "--engines", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2 engines" in out and "spmv" in out
+
+    def test_run_contention_tiny(self, capsys, tmp_path):
+        csv_path = str(tmp_path / "contention.csv")
+        assert main(["run", "contention", "--scale", "tiny",
+                     "--csv", csv_path]) == 0
+        assert os.path.exists(csv_path)
+        out = capsys.readouterr().out
+        assert "contention" in out and "engines" in out

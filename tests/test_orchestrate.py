@@ -388,9 +388,10 @@ class TestCliOrchestration:
                 "--cache", "--cache-dir", str(tmp_path)]
         assert main(argv) == 0
         out = capsys.readouterr().out
-        assert "speedup" in out and "18 stored" in out
+        # The full 7-workload registry x 3 systems = 21 runs.
+        assert "speedup" in out and "21 stored" in out
         assert main(argv) == 0
-        assert "18 hits" in capsys.readouterr().out
+        assert "21 hits" in capsys.readouterr().out
 
     def test_cache_subcommand(self, capsys, tmp_path):
         assert main(["cache", "--cache-dir", str(tmp_path)]) == 0
