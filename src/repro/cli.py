@@ -168,6 +168,33 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="delete every cache entry")
     group.add_argument("--prune", action="store_true",
                        help="delete entries from other package versions")
+
+    fuzz_parser = subparsers.add_parser(
+        "fuzz",
+        help="differential-fuzz random vector programs against the "
+             "functional oracle across the whole configuration cube",
+    )
+    fuzz_parser.add_argument("--cases", type=int, default=100, metavar="N",
+                             help="number of random cases (default: 100)")
+    fuzz_parser.add_argument("--seed", type=int, default=0,
+                             help="derivation seed for the case generator "
+                                  "(default: 0)")
+    fuzz_parser.add_argument("--shrink", action="store_true", default=True,
+                             help="shrink a divergence to a minimal program "
+                                  "(default)")
+    fuzz_parser.add_argument("--no-shrink", dest="shrink",
+                             action="store_false",
+                             help="report the first divergence unshrunk")
+    fuzz_parser.add_argument("--corpus-dir", metavar="DIR",
+                             help="write shrunk divergences here as corpus "
+                                  "JSON files")
+    fuzz_parser.add_argument("--replay", metavar="FILE",
+                             help="re-run one committed corpus case instead "
+                                  "of generating new ones")
+    fuzz_parser.add_argument("--max-cycles", type=int, default=5_000_000,
+                             help="per-point simulation budget")
+    fuzz_parser.add_argument("--quiet", action="store_true",
+                             help="suppress progress output")
     return parser
 
 
@@ -285,10 +312,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def _registry_workload_order() -> List[str]:
     """Every registered workload: figure-grid names first, then the extras."""
-    from repro.workloads.registry import WORKLOADS
+    from repro.workloads.registry import all_workload_names
 
-    extras = sorted(set(WORKLOADS) - set(WORKLOAD_ORDER))
-    return list(WORKLOAD_ORDER) + extras
+    return list(all_workload_names())
 
 
 def _cmd_workloads(args: argparse.Namespace) -> int:
@@ -441,6 +467,17 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz.runner import fuzz_main, replay_case
+
+    if args.replay:
+        return replay_case(args.replay, max_cycles=args.max_cycles,
+                           quiet=args.quiet)
+    return fuzz_main(cases=args.cases, seed=args.seed, shrink=args.shrink,
+                     corpus_dir=args.corpus_dir, max_cycles=args.max_cycles,
+                     quiet=args.quiet)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = _build_parser()
@@ -457,6 +494,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_profile(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
     parser.print_help()
     return 1
 

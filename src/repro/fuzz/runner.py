@@ -1,0 +1,263 @@
+"""Differential fuzz harness: one case, every point of the config cube.
+
+``run_fuzz_case`` executes a :class:`~repro.fuzz.case.FuzzCase` on every
+cube point — event-driven/naive engine x scalar/batch datapath x FULL/ELIDE
+data policy, on the single-engine topology and (when the case has at least
+two segments) a two-engine sharded topology — and checks:
+
+* FULL points reproduce the functional oracle's final memory image and
+  per-engine register files byte for byte;
+* every point within a topology reports bit-identical cycles, stats and
+  per-engine results (ELIDE included: data elision must be timing-exact).
+
+Cycle counts are *not* compared across topologies — adding an interconnect
+changes timing by design; each topology is its own identity class.
+
+``fuzz_main`` drives the harness from seeded hypothesis strategies with
+shrinking, which is what ``repro fuzz`` invokes.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.axi.transaction import reset_txn_ids
+from repro.fuzz.case import (
+    FuzzCase,
+    build_case_programs,
+    case_to_dict,
+    initialize_image,
+    plan_case,
+    save_corpus_case,
+)
+from repro.fuzz.oracle import interpret_program
+from repro.mem.storage import MemoryStorage
+from repro.sim.datapath import DATAPATH_ENV
+from repro.system.config import SystemConfig, SystemKind
+from repro.system.soc import build_system
+
+#: Memory image size for fuzz SoCs (2 MiB keeps snapshots cheap to compare).
+FUZZ_MEMORY_BYTES = 1 << 21
+
+#: (datapath, event_driven, policy) points for the single-engine topology.
+CUBE_SINGLE: Tuple[Tuple[str, bool, str], ...] = tuple(
+    (datapath, event, policy)
+    for datapath in ("batch", "scalar")
+    for event in (True, False)
+    for policy in ("full", "elide")
+)
+
+#: Two-engine subset: batch datapath only, to bound per-case runtime.
+CUBE_DUAL: Tuple[Tuple[str, bool, str], ...] = tuple(
+    ("batch", event, policy)
+    for event in (True, False)
+    for policy in ("full", "elide")
+)
+
+
+class FuzzDivergence(AssertionError):
+    """A cube point disagreed with the oracle or with another point."""
+
+    def __init__(self, case: FuzzCase, point: str, detail: str) -> None:
+        self.case = case
+        self.point = point
+        self.detail = detail
+        super().__init__(
+            f"{case.describe()} diverged at point [{point}]: {detail}\n"
+            f"case dict: {case_to_dict(case)}"
+        )
+
+
+@dataclass
+class FuzzCaseReport:
+    """What a clean run of one case covered."""
+
+    case: FuzzCase
+    points: List[str] = field(default_factory=list)
+    cycles_by_topology: Dict[int, int] = field(default_factory=dict)
+
+
+@contextmanager
+def _datapath(mode: str):
+    saved = os.environ.get(DATAPATH_ENV)
+    os.environ[DATAPATH_ENV] = mode
+    try:
+        yield
+    finally:
+        if saved is None:
+            os.environ.pop(DATAPATH_ENV, None)
+        else:
+            os.environ[DATAPATH_ENV] = saved
+
+
+def _first_diff(expected: np.ndarray, actual: np.ndarray) -> str:
+    mismatch = np.nonzero(expected != actual)[0]
+    addr = int(mismatch[0])
+    return (f"{len(mismatch)} byte(s) differ; first at {hex(addr)}: "
+            f"expected {expected[addr]:#04x}, got {actual[addr]:#04x}")
+
+
+def _compare_regfile(point: str, case: FuzzCase, engine_name: str,
+                     expected: Dict[str, np.ndarray],
+                     actual: Dict[str, np.ndarray]) -> None:
+    if set(expected) != set(actual):
+        raise FuzzDivergence(
+            case, point,
+            f"{engine_name}: register sets differ — oracle {sorted(expected)}, "
+            f"engine {sorted(actual)}")
+    for name in sorted(expected):
+        want, got = expected[name], actual[name]
+        if want.dtype != got.dtype or want.shape != got.shape \
+                or not np.array_equal(want, got):
+            raise FuzzDivergence(
+                case, point,
+                f"{engine_name}: register {name!r} differs — oracle "
+                f"{want.dtype}{want.shape} {want[:4]!r}..., engine "
+                f"{got.dtype}{got.shape} {got[:4]!r}...")
+
+
+def run_fuzz_case(case: FuzzCase, max_cycles: int = 5_000_000) -> FuzzCaseReport:
+    """Run one case across the cube; raise :class:`FuzzDivergence` on mismatch."""
+    plan = plan_case(case)
+    report = FuzzCaseReport(case=case)
+
+    # Oracle pass: one interpretation gives the expected final memory image
+    # (identical for every topology — output regions are disjoint and inputs
+    # read-only) and the expected per-engine register files per topology.
+    oracle_storage = MemoryStorage(FUZZ_MEMORY_BYTES)
+    initialize_image(oracle_storage, plan)
+    topologies = [1] + ([2] if len(plan.segments) >= 2 else [])
+    oracle_regs: Dict[int, List[Dict[str, np.ndarray]]] = {}
+    for num_engines in topologies:
+        programs = build_case_programs(plan, num_engines)
+        if num_engines == 1:
+            oracle_regs[1] = [interpret_program(programs[0], oracle_storage)]
+        else:
+            # Same ops as the single-engine pass — reinterpret against a
+            # scratch image purely for the per-engine register split.
+            scratch = MemoryStorage(FUZZ_MEMORY_BYTES)
+            initialize_image(scratch, plan)
+            oracle_regs[2] = [interpret_program(p, scratch) for p in programs]
+    expected_mem = oracle_storage.snapshot()
+
+    for num_engines in topologies:
+        programs = build_case_programs(plan, num_engines)
+        cube = CUBE_SINGLE if num_engines == 1 else CUBE_DUAL
+        baseline: Optional[Tuple[str, tuple]] = None
+        for datapath, event, policy in cube:
+            point = (f"{num_engines}eng/{datapath}/"
+                     f"{'event' if event else 'naive'}/{policy}")
+            with _datapath(datapath):
+                reset_txn_ids()
+                config = SystemConfig(
+                    memory_bytes=FUZZ_MEMORY_BYTES, data_policy=policy,
+                ).with_kind(SystemKind(case.kind))
+                if num_engines > 1:
+                    config = config.with_engines(num_engines)
+                soc = build_system(config)
+                initialize_image(soc.storage, plan)
+                cycles, results = soc.run_programs(
+                    programs, max_cycles=max_cycles, event_driven=event)
+            key = (cycles, dict(soc.stats.as_dict()), tuple(results))
+            if baseline is None:
+                baseline = (point, key)
+                report.cycles_by_topology[num_engines] = cycles
+            elif key != baseline[1]:
+                base_point, base_key = baseline
+                parts = []
+                if key[0] != base_key[0]:
+                    parts.append(f"cycles {base_key[0]} vs {key[0]}")
+                if key[1] != base_key[1]:
+                    diffs = {k for k in set(key[1]) | set(base_key[1])
+                             if key[1].get(k) != base_key[1].get(k)}
+                    parts.append(f"stats differ on {sorted(diffs)[:6]}")
+                if key[2] != base_key[2]:
+                    parts.append("per-engine results differ")
+                raise FuzzDivergence(
+                    case, point,
+                    f"not bit-identical to [{base_point}]: {'; '.join(parts)}")
+            if policy == "full":
+                actual_mem = soc.storage.snapshot()
+                if not np.array_equal(expected_mem, actual_mem):
+                    raise FuzzDivergence(
+                        case, point,
+                        "memory image differs from oracle: "
+                        + _first_diff(expected_mem, actual_mem))
+                for engine, expected in zip(soc.last_engines,
+                                            oracle_regs[num_engines]):
+                    _compare_regfile(point, case, engine.name, expected,
+                                     engine.regfile._vector)
+            report.points.append(point)
+    return report
+
+
+# -------------------------------------------------------------- CLI driver
+def fuzz_main(cases: int = 100, seed: int = 0, shrink: bool = True,
+              corpus_dir: Optional[str] = None,
+              max_cycles: int = 5_000_000, quiet: bool = False) -> int:
+    """Run ``cases`` seeded random cases; shrink and report any divergence.
+
+    Returns a process exit code: 0 clean, 1 divergence found, 2 harness
+    could not run (hypothesis unavailable).
+    """
+    try:
+        from hypothesis import HealthCheck, Phase, given
+        from hypothesis import seed as hypothesis_seed
+        from hypothesis import settings
+    except ImportError:  # pragma: no cover - image always ships hypothesis
+        print("repro fuzz needs the 'hypothesis' package; it is not installed")
+        return 2
+    from repro.fuzz.strategies import fuzz_cases
+
+    executions = 0
+    phases = [Phase.generate] + ([Phase.shrink] if shrink else [])
+
+    @hypothesis_seed(seed)
+    @settings(max_examples=cases, database=None, deadline=None,
+              phases=phases, suppress_health_check=list(HealthCheck),
+              print_blob=False)
+    @given(case=fuzz_cases())
+    def drive(case: FuzzCase) -> None:
+        nonlocal executions
+        executions += 1
+        if not quiet and executions % 25 == 0:
+            print(f"  ... {executions} case executions")
+        run_fuzz_case(case, max_cycles=max_cycles)
+
+    try:
+        drive()
+    except FuzzDivergence as failure:
+        print(f"DIVERGENCE (shrunk={shrink}): {failure}")
+        if corpus_dir is not None:
+            path = save_corpus_case(
+                failure.case, corpus_dir,
+                note=f"divergence at [{failure.point}]: {failure.detail}")
+            print(f"shrunk case written to {path}")
+            print(f"replay with: repro fuzz --replay {path}")
+        return 1
+    if not quiet:
+        print(f"fuzz: {cases} cases ({executions} executions incl. retries) "
+              f"clean — every cube point matched the oracle")
+    return 0
+
+
+def replay_case(path: str, max_cycles: int = 5_000_000,
+                quiet: bool = False) -> int:
+    """Re-run one committed corpus case; exit code mirrors :func:`fuzz_main`."""
+    from repro.fuzz.case import load_corpus_case
+
+    case = load_corpus_case(path)
+    try:
+        report = run_fuzz_case(case, max_cycles=max_cycles)
+    except FuzzDivergence as failure:
+        print(f"DIVERGENCE: {failure}")
+        return 1
+    if not quiet:
+        print(f"{case.describe()}: clean across {len(report.points)} points "
+              f"({', '.join(report.points)})")
+    return 0

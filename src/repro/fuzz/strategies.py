@@ -1,0 +1,95 @@
+"""Seeded hypothesis strategies over the fuzz-case space.
+
+The strategies lean into the address patterns most likely to expose
+datapath bugs: counts and offsets near power-of-two boundaries (bus-beat
+and burst straddles), strides that hit every bank of the 17-bank memory,
+gathers with duplicate indices, and scatter permutations.  Everything they
+emit is already legal after :func:`~repro.fuzz.case.plan_case`
+normalization, so shrinking stays inside the valid space.
+
+This module is the only one in the package that imports hypothesis at the
+top level; replaying committed corpus cases does not need it.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.fuzz.case import (
+    INPUT_ELEMS,
+    MAX_COUNT,
+    MAX_SCATTER,
+    NUM_REGS,
+    FuzzCase,
+    OpSpec,
+)
+
+#: Counts biased toward bus-beat (8 elems), burst and register boundaries.
+_BOUNDARY_COUNTS = (1, 2, 3, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65,
+                    127, 128, 129, 255, 256)
+_counts = st.one_of(st.sampled_from(_BOUNDARY_COUNTS),
+                    st.integers(min_value=1, max_value=MAX_COUNT))
+
+#: Offsets biased toward the start/end of the input region and beat edges.
+_BOUNDARY_OFFSETS = (0, 1, 7, 8, 15, 16, 1024, 2040, 2047)
+_offsets = st.one_of(st.sampled_from(_BOUNDARY_OFFSETS),
+                     st.integers(min_value=0, max_value=INPUT_ELEMS - 1))
+
+#: Strides: 17 matches the bank count (maximum conflict pressure).
+_strides = st.sampled_from((1, 2, 3, 4, 5, 7, 8, 16, 17, 31))
+
+_regs = st.integers(min_value=0, max_value=NUM_REGS - 1)
+
+_values = st.one_of(st.sampled_from((0.0, 1.0, -1.0, 0.5, 1e-3, 4096.0)),
+                    st.floats(min_value=-8.0, max_value=8.0, width=32,
+                              allow_nan=False, allow_infinity=False))
+
+_gather_indices = st.lists(
+    st.integers(min_value=0, max_value=2 * INPUT_ELEMS - 1),
+    min_size=1, max_size=MAX_COUNT,
+).map(tuple)
+
+_scatter_perms = st.integers(min_value=1, max_value=MAX_SCATTER).flatmap(
+    lambda n: st.permutations(tuple(range(n)))
+).map(tuple)
+
+
+def op_specs() -> st.SearchStrategy:
+    """Strategy for one abstract op."""
+    return st.one_of(
+        st.builds(OpSpec, kind=st.just("vle"), dest=_regs, count=_counts,
+                  offset=_offsets),
+        st.builds(OpSpec, kind=st.just("vlse"), dest=_regs, count=_counts,
+                  offset=_offsets, stride=_strides),
+        st.builds(OpSpec, kind=st.just("gather"), dest=_regs,
+                  indices=_gather_indices),
+        st.builds(OpSpec, kind=st.just("vse"), src=_regs, count=_counts),
+        st.builds(OpSpec, kind=st.just("vsse"), src=_regs, count=_counts,
+                  stride=_strides),
+        st.builds(OpSpec, kind=st.just("scatter"), src=_regs,
+                  indices=_scatter_perms),
+        st.builds(OpSpec, kind=st.sampled_from(("add", "mul", "macc")),
+                  dest=_regs, src=_regs, src2=_regs, count=_counts),
+        st.builds(OpSpec, kind=st.just("redsum"), dest=_regs, src=_regs,
+                  count=_counts),
+        st.builds(OpSpec, kind=st.just("broadcast"), dest=_regs,
+                  count=_counts, value=_values),
+        st.builds(OpSpec, kind=st.just("scalar"),
+                  cycles=st.integers(min_value=1, max_value=8)),
+        st.builds(OpSpec, kind=st.just("fence_readback"), dest=_regs,
+                  src=_regs, count=_counts),
+    )
+
+
+def fuzz_cases() -> st.SearchStrategy:
+    """Strategy for a whole case: kind, data seed, 1-3 segments of 1-6 ops."""
+    segments = st.lists(
+        st.lists(op_specs(), min_size=1, max_size=6).map(tuple),
+        min_size=1, max_size=3,
+    ).map(tuple)
+    return st.builds(
+        FuzzCase,
+        kind=st.sampled_from(("base", "pack", "ideal")),
+        seed=st.integers(min_value=0, max_value=2 ** 16 - 1),
+        segments=segments,
+    )

@@ -16,9 +16,32 @@ from __future__ import annotations
 import numpy as np
 
 from repro.axi.pack import PackMode
+from repro.axi.stream import IndirectStream, Stream
 from repro.axi.transaction import BusRequest
 from repro.errors import ProtocolError
 from repro.mem.storage import MemoryStorage
+
+
+def stream_element_addresses(storage: MemoryStorage,
+                             stream: Stream) -> np.ndarray:
+    """Return the byte address of every element an access stream touches.
+
+    The stream-level twin of :func:`element_addresses`: it answers before any
+    lowering to bus requests has happened, so the functional oracle can
+    resolve a whole vector load/store in one step.  Indirect streams read
+    their index array from ``storage`` — the oracle therefore sees the same
+    indices the cycle-level controller (or the engine's register file, for
+    register-indexed ops on the BASE system) resolves.
+    """
+    if isinstance(stream, IndirectStream):
+        index_dtype = {1: np.uint8, 2: np.uint16, 4: np.uint32, 8: np.uint64}[
+            stream.index_bytes
+        ]
+        indices = storage.read_array(
+            stream.index_base, stream.num_elements, index_dtype
+        )
+        return stream.element_addresses(indices)
+    return stream.element_addresses()
 
 
 def element_addresses(storage: MemoryStorage, request: BusRequest) -> np.ndarray:

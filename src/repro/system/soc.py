@@ -51,6 +51,10 @@ class Soc:
         self.num_engines = config.num_engines
         self.storage = MemoryStorage(config.memory_bytes)
         self.stats = StatsRegistry()
+        #: Vector engines from the most recent ``run_programs`` call, kept so
+        #: harnesses can inspect final register-file state.  Empty until the
+        #: first run.
+        self.last_engines: List[VectorEngine] = []
         if config.num_engines == 1:
             # Direct wiring: the seed topology, bit-identical to the
             # single-requestor model (no mux hop on any channel).
@@ -188,6 +192,9 @@ class Soc:
             )
             for name, program, port in zip(names, programs, self.ports)
         ]
+        # Kept for post-run inspection (the fuzz harness compares register
+        # files against the functional oracle after the run completes).
+        self.last_engines: List[VectorEngine] = vectors
         # Registration wires the wake machinery: each component subscribes to
         # the queues named by its ``wake_queues`` (the AXI port channels, the
         # banked memory's request/response queues), and registered queues act

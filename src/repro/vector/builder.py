@@ -52,6 +52,84 @@ class Program:
             lines = lines[:limit] + [f"... ({omitted} more instructions)"]
         return "\n".join(lines)
 
+    def validate(self, config: Optional[VectorEngineConfig] = None) -> None:
+        """Check the program is a legal kernel for its lowering mode.
+
+        Raises :class:`~repro.errors.WorkloadError` on the first violation.
+        The checks mirror what the engine enforces at dispatch/lowering time
+        (ISA support for the mode, vector lengths within the register group,
+        dependency ids referring to earlier ops, register-indexed ops naming
+        an index register on systems without AXI-Pack) plus data-flow rules
+        that would otherwise only surface mid-simulation (reading a vector
+        register no earlier op has written).  Programs assembled through
+        :class:`AraProgramBuilder` should always pass; the fuzzer calls this
+        on every generated program before running it.
+        """
+        config = config or VectorEngineConfig()
+        if not self.ops:
+            raise WorkloadError(f"program {self.name!r} contains no instructions")
+        if len(self.ops) != len(self.instructions):
+            raise WorkloadError(
+                f"program {self.name!r} has {len(self.ops)} ops but "
+                f"{len(self.instructions)} instructions"
+            )
+        written: set = set()
+        for index, (op, instr) in enumerate(zip(self.ops, self.instructions)):
+            where = f"{self.name!r} op {index} ({instr.mnemonic.value})"
+            check_supported(instr.mnemonic, self.mode)
+            if op.op_id != index:
+                raise WorkloadError(f"{where}: op_id {op.op_id} != position {index}")
+            for dep in op.deps:
+                if not 0 <= dep < index:
+                    raise WorkloadError(
+                        f"{where}: dependency {dep} does not precede the op"
+                    )
+            reads: List[str] = []
+            if isinstance(op, (VectorLoad, VectorStore)):
+                if op.stream is None:
+                    raise WorkloadError(f"{where}: memory op has no stream")
+                if op.stream.num_elements != instr.vl:
+                    raise WorkloadError(
+                        f"{where}: stream covers {op.stream.num_elements} "
+                        f"elements but vl is {instr.vl}"
+                    )
+                max_vl = config.max_vl(op.stream.elem_bytes)
+                if instr.vl > max_vl:
+                    raise WorkloadError(
+                        f"{where}: vl {instr.vl} exceeds max_vl {max_vl}"
+                    )
+                if op.uses_in_memory_indices and not self.mode.has_axi_pack:
+                    raise WorkloadError(
+                        f"{where}: in-memory indices need the AXI-Pack extension"
+                    )
+                if (isinstance(op.stream, IndirectStream)
+                        and not op.uses_in_memory_indices
+                        and op.index_values_reg is None):
+                    raise WorkloadError(
+                        f"{where}: register-indexed op names no index register"
+                    )
+                if op.index_values_reg is not None:
+                    reads.append(op.index_values_reg)
+            elif isinstance(op, VectorCompute):
+                if instr.vl > config.max_vl(config.elem_bytes):
+                    raise WorkloadError(
+                        f"{where}: vl {instr.vl} exceeds max_vl "
+                        f"{config.max_vl(config.elem_bytes)}"
+                    )
+                if op.fn is not None:
+                    reads.extend(op.srcs)
+            if isinstance(op, VectorStore):
+                reads.append(op.src)
+            for reg in reads:
+                if reg not in written:
+                    raise WorkloadError(
+                        f"{where}: reads register {reg!r} before any op writes it"
+                    )
+            if isinstance(op, VectorLoad):
+                written.add(op.dest)
+            elif isinstance(op, VectorCompute) and op.dest is not None:
+                written.add(op.dest)
+
 
 class AraProgramBuilder:
     """Builds :class:`Program` objects instruction by instruction."""

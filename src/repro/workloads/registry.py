@@ -54,10 +54,28 @@ WORKLOADS: Dict[str, Callable[..., Workload]] = {
     "csrspmv": _make_csrspmv,
 }
 
-#: The order the paper's figures list the benchmarks in.  Extra workloads
-#: (``csrspmv``, the streaming CSR SpMV) are registered above but not part
-#: of the paper-figure grids; the headline benchmark adds them explicitly.
+#: The order the paper's figures list the benchmarks in.  This tuple drives
+#: the figure grids and the sweep drivers, so it deliberately contains only
+#: the paper's six kernels — growing it would silently change every figure.
 WORKLOAD_ORDER = ("ismt", "gemv", "trmv", "spmv", "prank", "sssp")
+
+#: Registered benchmarks that are *not* part of the paper-figure grids.
+#: ``csrspmv`` is the streaming (row-pointer-walking) CSR SpMV variant kept
+#: for headline comparisons; tools that want "everything" should iterate
+#: ``WORKLOAD_ORDER + EXTRA_WORKLOADS``, never ``WORKLOADS`` directly.
+EXTRA_WORKLOADS = ("csrspmv",)
+
+if set(WORKLOADS) != set(WORKLOAD_ORDER) | set(EXTRA_WORKLOADS):
+    raise WorkloadError(
+        "workload registry out of sync: WORKLOADS keys must equal "
+        "WORKLOAD_ORDER + EXTRA_WORKLOADS; register new workloads in "
+        f"exactly one of the two tuples (registry has {sorted(WORKLOADS)})"
+    )
+
+
+def all_workload_names() -> tuple:
+    """Every registered workload: figure-grid names first, then extras."""
+    return WORKLOAD_ORDER + EXTRA_WORKLOADS
 
 
 def make_workload(name: str, size: int = 64, **kwargs) -> Workload:

@@ -1,0 +1,31 @@
+"""Deterministic regression corpus: replay every committed fuzz case.
+
+Each file under ``tests/corpus/`` is a case the fuzzer (or a hand-written
+corner) pinned down — the differential harness re-runs it across the whole
+configuration cube on every test run, no hypothesis required.  A shrunk
+divergence found by ``repro fuzz`` gets committed here so it can never
+regress silently; see docs/testing.md.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import load_corpus_case, run_fuzz_case
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+CORPUS_FILES = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def test_corpus_is_not_empty():
+    assert len(CORPUS_FILES) >= 5
+
+
+@pytest.mark.parametrize("path", CORPUS_FILES, ids=lambda p: p.stem)
+def test_corpus_case_stays_clean(path):
+    case = load_corpus_case(path)
+    report = run_fuzz_case(case)
+    # Single-segment cases cover the 8 single-engine points; multi-segment
+    # ones additionally cover the 4-point two-engine subset.
+    expected = 8 if len(case.segments) == 1 else 12
+    assert len(report.points) == expected

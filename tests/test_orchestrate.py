@@ -126,6 +126,27 @@ class TestResultCache:
         hit = cache.get(unverified_spec)  # downgrade is fine
         assert hit is not MISS and hit.verified is True
 
+    def test_multi_engine_result_survives_warm_cache_reload(self, tmp_path):
+        """A 2-engine run's per-engine breakdown must come back bit-identical
+        from a *fresh* cache instance reading the on-disk entry — the warm
+        path a second CLI invocation takes."""
+        spec = _tiny_spec(config=SystemConfig(num_engines=2))
+        result = spec.execute()
+        assert result.engines is not None and len(result.engines) == 2
+        ResultCache(tmp_path).put(spec, result)
+
+        reloaded = ResultCache(tmp_path).get(spec)  # cold instance, warm disk
+        assert reloaded is not MISS
+        assert reloaded == result
+        assert reloaded.engines == result.engines
+        # The aggregate equals its parts after the round-trip too.
+        from repro.vector.engine import EngineResult
+        assert reloaded.engine == EngineResult.aggregate(
+            reloaded.engines, reloaded.cycles)
+        # And the JSON on disk is canonical: a second encode is a fixpoint.
+        assert system_run_result_to_dict(reloaded) == \
+            system_run_result_to_dict(result)
+
     def test_miss_on_version_bump(self, tmp_path):
         cache = ResultCache(tmp_path)
         spec = _tiny_spec()
