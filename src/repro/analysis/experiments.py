@@ -5,12 +5,12 @@ from __future__ import annotations
 import inspect
 from typing import Callable, Mapping
 
-from repro.analysis import contention, fig3, fig4, fig5
+from repro.analysis import contention, fig3, fig4, fig5, pareto
 from repro.analysis.report import ExperimentTable
 from repro.errors import ConfigurationError
 
 #: Every reproduced figure, keyed by its id in the paper, plus the
-#: beyond-the-paper scenario sweeps (``contention``).
+#: beyond-the-paper scenario sweeps (``contention``, ``pareto``).
 EXPERIMENTS: Mapping[str, Callable[..., ExperimentTable]] = {
     "fig3a": fig3.figure_3a,
     "fig3b": fig3.figure_3b,
@@ -24,6 +24,7 @@ EXPERIMENTS: Mapping[str, Callable[..., ExperimentTable]] = {
     "fig5b": fig5.figure_5b,
     "fig5c": fig5.figure_5c,
     "contention": contention.figure_contention,
+    "pareto": pareto.figure_pareto,
 }
 
 def _driver_accepts(driver, parameter: str) -> bool:

@@ -10,6 +10,12 @@ shared endpoint.  Both carry packed bursts unmodified, which is the paper's
 central interconnect claim (§II-A): all routing decisions use only the
 address and the transaction id, never the AXI-Pack ``user`` payload.
 
+Composed back to back — one :class:`CycleAxiDemux` per requestor fanning out
+over an N×M grid of link ports into one :class:`CycleAxiMux` per endpoint —
+they form the full M×N crossbar :class:`~repro.system.soc.Soc` wires for
+multi-channel topologies, with per-link arbitration at each mux.  The demux's
+same-target AW gate (below) is what makes that composition deadlock-free.
+
 Wake-hint contract
 ------------------
 Both components are purely queue-driven: every state transition is triggered
@@ -256,12 +262,27 @@ class CycleAxiDemux(Component):
 
     The forward path decodes each AR/AW against an
     :class:`~repro.axi.interconnect.AddressMap` (region targets index the
-    ``downstreams`` list) and forwards the burst verbatim; W beats follow
-    their AW.  The return path merges R and B beats round-robin, one beat
-    per channel per cycle, back onto the single upstream port — the
-    requestor demultiplexes them by transaction id.  Like the cycle mux,
-    the component is purely queue-driven and the merge pointers only
-    advance on a successful forward.
+    ``downstreams`` list) or an
+    :class:`~repro.axi.interconnect.InterleavedAddressMap` and forwards the
+    burst verbatim; W beats follow their AW.  The return path merges R and B
+    beats round-robin, one beat per channel per cycle, back onto the single
+    upstream port — the requestor demultiplexes them by transaction id.  Like
+    the cycle mux, the component is purely queue-driven and the merge
+    pointers only advance on a successful forward.
+
+    **Same-target AW gate.**  An AW whose decode target differs from the
+    target of the still-outstanding W beats is *not* accepted until those
+    beats have drained.  AXI4 has no WID: each master emits one W stream in
+    AW order, so without the gate two demuxes can each owe their oldest W
+    beats to the endpoint the *other* demux's beats are queued behind — a
+    cyclic wait once the link queues fill (the classic W-interleave crossbar
+    deadlock, resolved the same way as pulp-platform's ``axi_demux``).  With
+    the gate every demux owes W beats to at most one target at a time, which
+    makes the demux→mux crossbar composition deadlock-free.
+
+    ``check_straddle=False`` disables the burst-straddle protocol check for
+    interleaved maps, where routing deliberately uses only the start address
+    (stripe-ownership semantics — see ``InterleavedAddressMap``).
     """
 
     def __init__(
@@ -271,19 +292,28 @@ class CycleAxiDemux(Component):
         downstreams: Sequence[AxiPort],
         address_map: AddressMap,
         stats: Optional[StatsRegistry] = None,
+        check_straddle: bool = True,
     ) -> None:
         super().__init__(name)
         if not downstreams:
             raise ConfigurationError("demux needs at least one downstream port")
-        for region in address_map.regions:
-            if not 0 <= region.target < len(downstreams):
-                raise ConfigurationError(
-                    f"address region at {region.base:#x} targets port "
-                    f"{region.target}, but only {len(downstreams)} exist"
-                )
+        regions = getattr(address_map, "regions", None)
+        if regions is not None:
+            for region in regions:
+                if not 0 <= region.target < len(downstreams):
+                    raise ConfigurationError(
+                        f"address region at {region.base:#x} targets port "
+                        f"{region.target}, but only {len(downstreams)} exist"
+                    )
+        elif address_map.num_targets > len(downstreams):
+            raise ConfigurationError(
+                f"address map decodes to {address_map.num_targets} targets, "
+                f"but only {len(downstreams)} downstream ports exist"
+            )
         self.upstream = upstream
         self.downstreams = list(downstreams)
         self.address_map = address_map
+        self.check_straddle = check_straddle
         self.stats = stats if stats is not None else StatsRegistry()
         #: accepted writes still owed W beats: (target index, beats left)
         self._w_order: Deque[Tuple[int, int]] = deque()
@@ -323,7 +353,7 @@ class CycleAxiDemux(Component):
     # ------------------------------------------------------------ forwarding
     def _route_target(self, request: BusRequest) -> int:
         target = self.address_map.route(request.addr)
-        if request.contiguous and not request.is_packed:
+        if self.check_straddle and request.contiguous and not request.is_packed:
             last = request.addr + request.payload_bytes - 1
             if self.address_map.route(last) != target:
                 raise ProtocolError(
@@ -337,6 +367,10 @@ class CycleAxiDemux(Component):
             return
         request: BusRequest = source._storage[0]
         target = self._route_target(request)
+        if is_write and self._w_order and self._w_order[0][0] != target:
+            # Same-target AW gate (see the class docstring): hold this AW
+            # until the W beats owed to the previous target have drained.
+            return
         sink = (
             self.downstreams[target].aw if is_write else self.downstreams[target].ar
         )

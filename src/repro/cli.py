@@ -11,6 +11,8 @@ Examples::
     axi-pack-repro workloads --workloads csrspmv spmv --engines 2
     axi-pack-repro sweep fig3a fig5a --scale medium --jobs 8
     axi-pack-repro sweep all --no-cache
+    axi-pack-repro pareto --jobs 4 --csv results/pareto.csv
+    axi-pack-repro pareto --engines 1 2 --channels 1 2 4
     axi-pack-repro profile spmv --system pack --scale small --top 25
     axi-pack-repro cache --clear
 
@@ -18,6 +20,10 @@ Examples::
 vector engines share one adapter + banked memory behind a cycle-level AXI
 multiplexer, and every workload's rows are sharded across the engines (the
 ``contention`` experiment sweeps this topology systematically).
+``--channels M`` adds M memory channels (each its own adapter + banked
+memory stack) behind an N×M stripe-interleaved crossbar; the ``pareto``
+subcommand sweeps both axes and joins the measured performance with the
+hardware area/energy models (see ``docs/hardware.md``).
 
 ``--timing-only`` selects ``DataPolicy.ELIDE``: the simulated datapath moves
 no bytes, only geometry, which is markedly faster and produces bit-identical
@@ -49,7 +55,8 @@ from repro.workloads.registry import WORKLOAD_ORDER
 
 
 def _add_orchestration_options(parser: argparse.ArgumentParser,
-                               cache_default: bool) -> None:
+                               cache_default: bool,
+                               topology: bool = True) -> None:
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for simulation runs "
                              "(0 = one per CPU; default: 1, serial)")
@@ -59,13 +66,19 @@ def _add_orchestration_options(parser: argparse.ArgumentParser,
                              "result verification (results are marked "
                              "verified=False); cached separately from full "
                              "runs")
-    parser.add_argument("--engines", type=int, default=1, metavar="N",
-                        help="vector engines per SoC: N > 1 shards each "
-                             "workload's rows across N engines sharing one "
-                             "memory system behind a cycle-level AXI mux "
-                             "(default: 1, the paper's topology)")
+    if topology:
+        parser.add_argument("--engines", type=int, default=1, metavar="N",
+                            help="vector engines per SoC: N > 1 shards each "
+                                 "workload's rows across N engines sharing one "
+                                 "memory system behind a cycle-level AXI mux "
+                                 "(default: 1, the paper's topology)")
+        parser.add_argument("--channels", type=int, default=1, metavar="M",
+                            help="memory channels per SoC: M > 1 instantiates "
+                                 "M adapter + banked-memory stacks behind an "
+                                 "N×M stripe-interleaved crossbar (default: "
+                                 "1, the paper's topology)")
     parser.add_argument("--arbitration", choices=["rr", "qos"], default="rr",
-                        help="mux arbitration with --engines > 1: 'rr' "
+                        help="arbitration at each shared link: 'rr' "
                              "round-robin or 'qos' static priority, engine 0 "
                              "highest (default: rr)")
     parser.add_argument("--cache", action=argparse.BooleanOptionalAction,
@@ -126,6 +139,27 @@ def _build_parser() -> argparse.ArgumentParser:
                                 "workloads first, then the extras the figure "
                                 "grids exclude)")
     _add_orchestration_options(wl_parser, cache_default=False)
+
+    pareto_parser = subparsers.add_parser(
+        "pareto",
+        help="perf/area/energy Pareto sweep over engines × channels × system",
+    )
+    pareto_parser.add_argument("--scale", choices=sorted(SCALES), default="small",
+                               help="problem size for the swept workloads")
+    pareto_parser.add_argument("--csv", help="also write the table to a CSV file")
+    pareto_parser.add_argument("--engines", type=int, nargs="+", default=None,
+                               metavar="N",
+                               help="engine counts to sweep (default: 1 2 4)")
+    pareto_parser.add_argument("--channels", type=int, nargs="+", default=None,
+                               metavar="M",
+                               help="memory-channel counts to sweep "
+                                    "(default: 1 2 4)")
+    pareto_parser.add_argument("--workloads", nargs="+", metavar="NAME",
+                               default=None,
+                               help="workloads to sweep (default: gemv spmv "
+                                    "csrspmv)")
+    _add_orchestration_options(pareto_parser, cache_default=True,
+                               topology=False)
 
     profile_parser = subparsers.add_parser(
         "profile",
@@ -207,6 +241,8 @@ def _system_config(args: argparse.Namespace) -> SystemConfig:
         kwargs["data_policy"] = DataPolicy.ELIDE
     if getattr(args, "engines", 1) != 1:
         kwargs["num_engines"] = args.engines
+    if getattr(args, "channels", 1) != 1:
+        kwargs["num_channels"] = args.channels
     if getattr(args, "arbitration", "rr") != "rr":
         kwargs["arbitration"] = args.arbitration
     return SystemConfig(**kwargs)
@@ -330,6 +366,8 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
     config = _system_config(args)
     policy_note = " [timing-only]" if config.elides_data else ""
     engine_note = f", {config.num_engines} engines" if config.num_engines > 1 else ""
+    if config.num_channels > 1:
+        engine_note += f", {config.num_channels} channels"
     print(f"Running {len(names)} workloads at size {args.size} "
           f"on BASE / PACK / IDEAL ({config.bus_bits}-bit bus, "
           f"{config.num_banks} banks{engine_note}){policy_note}")
@@ -351,6 +389,39 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
                   f"{comparison.base.r_utilization:5.1%} / "
                   f"{comparison.pack.r_utilization:5.1%} / "
                   f"{comparison.ideal.r_utilization:5.1%}")
+        _report_cache(runner)
+    return 0
+
+
+def _cmd_pareto(args: argparse.Namespace) -> int:
+    from repro.analysis.pareto import figure_pareto
+    from repro.sim.policy import DataPolicy
+    from repro.workloads.registry import WORKLOADS
+
+    if args.workloads:
+        unknown = [name for name in args.workloads if name not in WORKLOADS]
+        if unknown:
+            print(f"error: unknown workload(s) {unknown}; "
+                  f"available: {sorted(WORKLOADS)}", file=sys.stderr)
+            return 2
+    kwargs = {}
+    if args.timing_only:
+        kwargs["data_policy"] = DataPolicy.ELIDE
+    if args.arbitration != "rr":
+        kwargs["arbitration"] = args.arbitration
+    config = SystemConfig(**kwargs)
+    with _make_runner(args) as runner:
+        pareto_kwargs = {}
+        if args.workloads:
+            pareto_kwargs["workloads"] = tuple(args.workloads)
+        table = figure_pareto(
+            scale=args.scale, config=config, engines=args.engines,
+            channels=args.channels, runner=runner, **pareto_kwargs,
+        )
+        print(table.render())
+        if args.csv:
+            write_csv(table, args.csv)
+            print(f"wrote {args.csv}")
         _report_cache(runner)
     return 0
 
@@ -490,6 +561,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "workloads":
         return _cmd_workloads(args)
+    if args.command == "pareto":
+        return _cmd_pareto(args)
     if args.command == "profile":
         return _cmd_profile(args)
     if args.command == "cache":

@@ -3,7 +3,8 @@
 ``run_fuzz_case`` executes a :class:`~repro.fuzz.case.FuzzCase` on every
 cube point — event-driven/naive engine x scalar/batch datapath x FULL/ELIDE
 data policy, on the single-engine topology and (when the case has at least
-two segments) a two-engine sharded topology — and checks:
+two segments) a two-engine sharded topology over one shared channel plus
+the two-engine x two-channel crossbar — and checks:
 
 * FULL points reproduce the functional oracle's final memory image and
   per-engine register files byte for byte;
@@ -11,7 +12,8 @@ two segments) a two-engine sharded topology — and checks:
   per-engine results (ELIDE included: data elision must be timing-exact).
 
 Cycle counts are *not* compared across topologies — adding an interconnect
-changes timing by design; each topology is its own identity class.
+changes timing by design; each ``(engines, channels)`` topology is its own
+identity class.
 
 ``fuzz_main`` drives the harness from seeded hypothesis strategies with
 shrinking, which is what ``repro fuzz`` invokes.
@@ -52,12 +54,17 @@ CUBE_SINGLE: Tuple[Tuple[str, bool, str], ...] = tuple(
     for policy in ("full", "elide")
 )
 
-#: Two-engine subset: batch datapath only, to bound per-case runtime.
+#: Multi-engine subset: batch datapath only, to bound per-case runtime.
 CUBE_DUAL: Tuple[Tuple[str, bool, str], ...] = tuple(
     ("batch", event, policy)
     for event in (True, False)
     for policy in ("full", "elide")
 )
+
+#: (engines, channels) topologies the cube covers.  (2, 2) exercises the
+#: M×N demux/mux crossbar with stripe-interleaved channel routing; like the
+#: shared-channel topologies it must match the functional oracle exactly.
+CUBE_TOPOLOGIES: Tuple[Tuple[int, int], ...] = ((1, 1), (2, 1), (2, 2))
 
 
 class FuzzDivergence(AssertionError):
@@ -79,7 +86,8 @@ class FuzzCaseReport:
 
     case: FuzzCase
     points: List[str] = field(default_factory=list)
-    cycles_by_topology: Dict[int, int] = field(default_factory=dict)
+    #: cycles per (engines, channels) topology (each its own identity class)
+    cycles_by_topology: Dict[Tuple[int, int], int] = field(default_factory=dict)
 
 
 @contextmanager
@@ -131,9 +139,15 @@ def run_fuzz_case(case: FuzzCase, max_cycles: int = 5_000_000) -> FuzzCaseReport
     # read-only) and the expected per-engine register files per topology.
     oracle_storage = MemoryStorage(FUZZ_MEMORY_BYTES)
     initialize_image(oracle_storage, plan)
-    topologies = [1] + ([2] if len(plan.segments) >= 2 else [])
+    multi_engine_ok = len(plan.segments) >= 2
+    topologies = [
+        topo for topo in CUBE_TOPOLOGIES if multi_engine_ok or topo[0] == 1
+    ]
+    # Register files depend only on the engine split, never on the channel
+    # count (channels partition timing, not data), so the oracle is keyed by
+    # engine count alone.
     oracle_regs: Dict[int, List[Dict[str, np.ndarray]]] = {}
-    for num_engines in topologies:
+    for num_engines in sorted({topo[0] for topo in topologies}):
         programs = build_case_programs(plan, num_engines)
         if num_engines == 1:
             oracle_regs[1] = [interpret_program(programs[0], oracle_storage)]
@@ -142,15 +156,19 @@ def run_fuzz_case(case: FuzzCase, max_cycles: int = 5_000_000) -> FuzzCaseReport
             # scratch image purely for the per-engine register split.
             scratch = MemoryStorage(FUZZ_MEMORY_BYTES)
             initialize_image(scratch, plan)
-            oracle_regs[2] = [interpret_program(p, scratch) for p in programs]
+            oracle_regs[num_engines] = [
+                interpret_program(p, scratch) for p in programs
+            ]
     expected_mem = oracle_storage.snapshot()
 
-    for num_engines in topologies:
+    for num_engines, num_channels in topologies:
         programs = build_case_programs(plan, num_engines)
-        cube = CUBE_SINGLE if num_engines == 1 else CUBE_DUAL
+        cube = CUBE_SINGLE if (num_engines, num_channels) == (1, 1) else CUBE_DUAL
+        topo_tag = (f"{num_engines}eng" if num_channels == 1
+                    else f"{num_engines}eng{num_channels}ch")
         baseline: Optional[Tuple[str, tuple]] = None
         for datapath, event, policy in cube:
-            point = (f"{num_engines}eng/{datapath}/"
+            point = (f"{topo_tag}/{datapath}/"
                      f"{'event' if event else 'naive'}/{policy}")
             with _datapath(datapath):
                 reset_txn_ids()
@@ -159,14 +177,16 @@ def run_fuzz_case(case: FuzzCase, max_cycles: int = 5_000_000) -> FuzzCaseReport
                 ).with_kind(SystemKind(case.kind))
                 if num_engines > 1:
                     config = config.with_engines(num_engines)
+                if num_channels > 1:
+                    config = config.with_channels(num_channels)
                 soc = build_system(config)
                 initialize_image(soc.storage, plan)
                 cycles, results = soc.run_programs(
                     programs, max_cycles=max_cycles, event_driven=event)
-            key = (cycles, dict(soc.stats.as_dict()), tuple(results))
+            key = (cycles, dict(soc.stats_snapshot()), tuple(results))
             if baseline is None:
                 baseline = (point, key)
-                report.cycles_by_topology[num_engines] = cycles
+                report.cycles_by_topology[(num_engines, num_channels)] = cycles
             elif key != baseline[1]:
                 base_point, base_key = baseline
                 parts = []

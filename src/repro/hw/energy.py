@@ -12,8 +12,9 @@ at most ~30 % more power than BASE, and the energy-efficiency improvements
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
+from repro.errors import ConfigurationError
 from repro.hw.technology import GF22FDX, TechnologyParams
 from repro.system.config import SystemKind
 from repro.system.results import SystemRunResult
@@ -110,6 +111,56 @@ class EnergyModel:
         if result.kind is SystemKind.PACK:
             power += params.adapter_static_mw
             power += params.adapter_traffic_mw * min(1.0, beats_per_cycle)
+        return power
+
+    def topology_power_mw(
+        self,
+        result: SystemRunResult,
+        num_engines: int = 1,
+        num_channels: int = 1,
+        channel_beats_per_cycle: Optional[Sequence[float]] = None,
+    ) -> float:
+        """Average power of one run on an N-engine × M-channel topology.
+
+        Scales the same calibrated coefficients by the instantiated
+        hardware: every engine pays its static and lane-activity power
+        (``result.engine`` aggregates traffic across engines, so lane
+        activity is normalized by the *total* lane count), and every memory
+        channel pays its traffic power for the beats it actually carried.
+        ``channel_beats_per_cycle`` supplies the measured per-channel beat
+        rates (from the ``chan{j}.``-prefixed stats); when omitted, the
+        aggregate traffic is assumed perfectly balanced across channels.
+        PACK systems additionally pay one adapter (static + traffic) per
+        channel.  With ``num_engines == num_channels == 1`` this reduces
+        exactly to :meth:`system_power_mw`.
+        """
+        if num_engines < 1 or num_channels < 1:
+            raise ConfigurationError("topology needs >= 1 engine and channel")
+        params = self.params
+        cycles = max(1, result.cycles)
+        engine = result.engine
+        beats_per_cycle = (engine.r_beats + engine.w_beats) / cycles
+        if channel_beats_per_cycle is None:
+            channel_beats = [beats_per_cycle / num_channels] * num_channels
+        else:
+            channel_beats = list(channel_beats_per_cycle)
+            if len(channel_beats) != num_channels:
+                raise ConfigurationError(
+                    f"got {len(channel_beats)} channel beat rates for "
+                    f"{num_channels} channels"
+                )
+        elems_per_cycle = (engine.r_data_bytes + engine.w_useful_bytes) / 4 / cycles
+        lanes = engine.bus_bytes // 4
+        lane_activity = min(1.0, elems_per_cycle / (lanes * num_engines))
+        # Each channel saturates at one beat per cycle, like the single bus
+        # in system_power_mw.
+        traffic_activity = sum(min(1.0, beats) for beats in channel_beats)
+        power = params.static_mw * num_engines
+        power += params.lane_active_mw * num_engines * lane_activity
+        power += params.memory_traffic_mw * traffic_activity
+        if result.kind is SystemKind.PACK:
+            power += params.adapter_static_mw * num_channels
+            power += params.adapter_traffic_mw * traffic_activity
         return power
 
     # ----------------------------------------------------------------- energy

@@ -38,7 +38,12 @@ from repro.version import __version__
 #: topology) — fingerprints now name the requestor count and arbitration
 #: policy, and results carry the per-engine breakdown, so pre-topology
 #: entries are unreachable/prunable.
-CACHE_SCHEMA_VERSION = 3
+#: 4: ``SystemConfig`` grew ``num_channels``/``channel_stripe_bytes`` (the
+#: M×N crossbar topology) — fingerprints now name the memory-channel count
+#: and interleave stripe, and multi-channel results carry per-channel
+#: (``chan{j}.``-prefixed) stats, so pre-crossbar entries are
+#: unreachable/prunable.
+CACHE_SCHEMA_VERSION = 4
 
 
 def canonicalize(value: Any) -> Any:

@@ -50,13 +50,19 @@ class SystemConfig:
     ``$REPRO_DATA_POLICY``; a policy name string (``"elide"``) is accepted
     and coerced.
 
-    ``num_engines`` selects the SoC topology: with the default ``1`` the
-    vector engine connects directly to the memory system, exactly as in the
-    paper's evaluation; with ``N > 1`` the SoC instantiates N vector
-    engines whose AXI ports share one adapter + banked memory behind a
-    cycle-level N:1 multiplexer (:class:`repro.axi.mux.CycleAxiMux`) using
-    the ``arbitration`` policy (``"rr"`` round-robin or ``"qos"`` static
-    priority, port 0 highest).
+    ``num_engines`` and ``num_channels`` select the SoC topology: with the
+    defaults (``1`` × ``1``) the vector engine connects directly to the
+    memory system, exactly as in the paper's evaluation.  With ``N > 1``
+    engines and one channel, N vector engines share one adapter + banked
+    memory behind a cycle-level N:1 multiplexer
+    (:class:`repro.axi.mux.CycleAxiMux`) using the ``arbitration`` policy
+    (``"rr"`` round-robin or ``"qos"`` static priority, port 0 highest).
+    With ``M > 1`` channels the SoC instantiates M adapter + banked-memory
+    (or ideal-endpoint) stacks behind an N×M demux/mux crossbar with
+    stripe-interleaved routing: consecutive ``channel_stripe_bytes`` stripes
+    of the address space rotate across the channels
+    (:class:`repro.axi.interconnect.InterleavedAddressMap`), and each
+    channel arbitrates its own links with the same ``arbitration`` policy.
     """
 
     kind: SystemKind = SystemKind.PACK
@@ -71,6 +77,8 @@ class SystemConfig:
     data_policy: Union[DataPolicy, str] = field(default_factory=default_data_policy)
     num_engines: int = 1
     arbitration: str = "rr"
+    num_channels: int = 1
+    channel_stripe_bytes: int = 1024
 
     def __post_init__(self) -> None:
         if not is_power_of_two(self.bus_bytes):
@@ -82,6 +90,21 @@ class SystemConfig:
         if self.arbitration not in ("rr", "qos"):
             raise ConfigurationError(
                 f"unknown arbitration {self.arbitration!r}; choose 'rr' or 'qos'"
+            )
+        if self.num_channels < 1:
+            raise ConfigurationError("a SoC needs at least one memory channel")
+        if not is_power_of_two(self.channel_stripe_bytes):
+            raise ConfigurationError(
+                "channel stripe size must be a power of two in bytes"
+            )
+        if self.channel_stripe_bytes < self.bus_bytes:
+            raise ConfigurationError(
+                "channel stripe must be at least one bus beat wide"
+            )
+        if self.memory_bytes < self.num_channels * self.channel_stripe_bytes:
+            raise ConfigurationError(
+                "memory smaller than one stripe per channel; shrink the "
+                "stripe or the channel count"
             )
         if not isinstance(self.data_policy, DataPolicy):
             try:
@@ -150,3 +173,21 @@ class SystemConfig:
         if arbitration is None:
             return replace(self, num_engines=num_engines)
         return replace(self, num_engines=num_engines, arbitration=arbitration)
+
+    def with_channels(self, num_channels: int,
+                      stripe_bytes: Optional[int] = None) -> "SystemConfig":
+        """A copy of this configuration with a different channel count."""
+        if stripe_bytes is None:
+            return replace(self, num_channels=num_channels)
+        return replace(self, num_channels=num_channels,
+                       channel_stripe_bytes=stripe_bytes)
+
+    def channel_address_map(self):
+        """The stripe-interleaved decode the crossbar routes channels by."""
+        from repro.axi.interconnect import InterleavedAddressMap
+
+        return InterleavedAddressMap(
+            num_targets=self.num_channels,
+            stripe_bytes=self.channel_stripe_bytes,
+            size_bytes=self.memory_bytes,
+        )

@@ -14,9 +14,18 @@ class SystemRunResult:
     """Everything measured when one workload ran on one system.
 
     For multi-engine runs ``engine`` holds the aggregate measurement
-    (summed traffic over the shared bus, see :meth:`EngineResult.aggregate`)
-    and ``engines`` the per-engine breakdown in engine order; single-engine
-    runs leave ``engines`` as ``None``.
+    (traffic summed over every engine's requestor port, see
+    :meth:`EngineResult.aggregate`) and ``engines`` the per-engine breakdown
+    in engine order; single-engine runs leave ``engines`` as ``None``.  In
+    the serialized/JSON form ``engines`` follows the same convention: a
+    list of per-engine records when the topology has several engines,
+    absent otherwise.
+
+    ``stats`` is the SoC's merged counter snapshot.  On multi-channel
+    (crossbar) topologies it carries each counter twice: summed across
+    channels under the bare name and per memory channel under a
+    ``chan{j}.`` prefix (see :meth:`repro.system.soc.Soc.stats_snapshot`);
+    single-channel runs carry only the bare names.
     """
 
     workload: str

@@ -74,7 +74,9 @@ def run_workload(
         kind=config.kind,
         cycles=cycles,
         engine=engine_result,
-        stats=soc.stats.as_dict(),
+        # Merged snapshot: identical to the raw registry on single-channel
+        # SoCs; adds chan{j}.-prefixed per-channel counters on the crossbar.
+        stats=soc.stats_snapshot(),
         verified=verified,
         engines=engines,
     )

@@ -1,26 +1,40 @@
-"""SoC assembly: wires the vector engine(s) to the right memory system.
+"""SoC assembly: wires the vector engine(s) to the right memory system(s).
 
 Topologies
 ----------
-With ``num_engines == 1`` (the paper's evaluation systems) the vector
-engine's AXI port connects *directly* to the adapter / ideal endpoint —
-byte-identical wiring, cycle counts and statistics to the single-requestor
-model this repo always had.
+With ``num_engines == 1, num_channels == 1`` (the paper's evaluation
+systems) the vector engine's AXI port connects *directly* to the adapter /
+ideal endpoint — byte-identical wiring, cycle counts and statistics to the
+single-requestor model this repo always had.
 
-With ``num_engines == N > 1`` the SoC instantiates N vector engines, each
-with a private AXI port, merged onto one shared endpoint port by a
-cycle-level :class:`~repro.axi.mux.CycleAxiMux` (round-robin or QoS
+With ``num_engines == N > 1`` and one channel the SoC instantiates N vector
+engines, each with a private AXI port, merged onto one shared endpoint port
+by a cycle-level :class:`~repro.axi.mux.CycleAxiMux` (round-robin or QoS
 arbitration on AR/AW, transaction-id routed R/B returns, W beats in AW
 order).  The adapter and banked memory are shared, which is what makes the
 contention/fairness scenario family measurable: N requestors fighting over
 one packed bus and one bank crossbar.
+
+With ``num_channels == M > 1`` the SoC becomes a full M×N crossbar: each
+engine fans out through a private :class:`~repro.axi.mux.CycleAxiDemux`
+over an N×M grid of link ports, and each memory channel merges its N links
+through a private :class:`~repro.axi.mux.CycleAxiMux` into its own adapter
++ :class:`~repro.mem.banked.BankedMemory` stack (or ideal endpoint).
+Channels are selected by stripe-interleaved address decode
+(:class:`~repro.axi.interconnect.InterleavedAddressMap`): consecutive
+``channel_stripe_bytes`` stripes rotate across channels, so every channel
+carries a share of every workload.  All channel stacks share ONE functional
+:class:`~repro.mem.storage.MemoryStorage` image — channels split *timing*,
+not data — and each channel keeps a private stats registry so
+:meth:`Soc.stats_snapshot` can report both per-channel (``chan{j}.``) and
+summed counters.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.axi.mux import CycleAxiMux
+from repro.axi.mux import CycleAxiDemux, CycleAxiMux
 from repro.axi.port import AxiPort, AxiPortConfig
 from repro.controller.adapter import AxiPackAdapter
 from repro.errors import ConfigurationError, SimulationError
@@ -43,18 +57,30 @@ class Soc:
     and statistics are reset at the start of every run, so back-to-back
     ``run_program`` calls on one :class:`Soc` report identical measurements
     (the memory image is deliberately *not* reset — workloads own it).
+
+    Attribute conventions: ``endpoints`` / ``memories`` always list every
+    channel stack; the historical single-channel aliases ``endpoint`` /
+    ``memory`` point at the one stack when ``num_channels == 1`` and are
+    ``None`` on multi-channel SoCs.
     """
 
     def __init__(self, config: SystemConfig) -> None:
         self.config = config
         self.data_policy = config.data_policy
         self.num_engines = config.num_engines
+        self.num_channels = config.num_channels
         self.storage = MemoryStorage(config.memory_bytes)
         self.stats = StatsRegistry()
         #: Vector engines from the most recent ``run_programs`` call, kept so
         #: harnesses can inspect final register-file state.  Empty until the
         #: first run.
         self.last_engines: List[VectorEngine] = []
+        #: crossbar pieces; all empty on single-channel SoCs
+        self.demuxes: List[CycleAxiDemux] = []
+        self.channel_muxes: List[CycleAxiMux] = []
+        self.channel_ports: List[AxiPort] = []
+        self.link_ports: List[List[AxiPort]] = []
+        self.channel_stats: List[StatsRegistry] = []
         if config.num_engines == 1:
             # Direct wiring: the seed topology, bit-identical to the
             # single-requestor model (no mux hop on any channel).
@@ -66,35 +92,130 @@ class Soc:
                 AxiPort(f"cpu{index}", config.bus_bytes, AxiPortConfig())
                 for index in range(config.num_engines)
             ]
-            #: the shared endpoint-side port behind the mux
-            self.port = AxiPort("shared", config.bus_bytes, AxiPortConfig())
-            self.mux = CycleAxiMux(
-                "mux", self.ports, self.port,
-                arbitration=config.arbitration, stats=self.stats,
-            )
-        if config.kind is SystemKind.IDEAL:
-            self.memory = None
-            self.endpoint = IdealMemoryEndpoint(
-                "ideal_mem", self.port, self.storage,
-                latency=config.ideal_latency, stats=self.stats,
-                data_policy=self.data_policy,
-            )
+            self.mux = None
+        if config.num_channels == 1:
+            if config.num_engines > 1:
+                #: the shared endpoint-side port behind the mux
+                self.port = AxiPort("shared", config.bus_bytes, AxiPortConfig())
+                self.mux = CycleAxiMux(
+                    "mux", self.ports, self.port,
+                    arbitration=config.arbitration, stats=self.stats,
+                )
+            memory, endpoint = self._build_channel_stack("", self.port, self.stats)
+            self.memory = memory
+            self.endpoint = endpoint
+            self.memories: List[BankedMemory] = [] if memory is None else [memory]
+            self.endpoints: List = [endpoint]
         else:
-            self.memory = BankedMemory(
-                "banked_mem", config.memory_config(), self.storage, self.stats,
+            address_map = config.channel_address_map()
+            self.channel_ports = [
+                AxiPort(f"chan{index}", config.bus_bytes, AxiPortConfig())
+                for index in range(config.num_channels)
+            ]
+            self.link_ports = [
+                [
+                    AxiPort(f"xb{row}_{col}", config.bus_bytes, AxiPortConfig())
+                    for col in range(config.num_channels)
+                ]
+                for row in range(config.num_engines)
+            ]
+            # One demux per engine; check_straddle=False because interleaved
+            # routing deliberately uses stripe-ownership semantics (route by
+            # start address; the owning channel serves the whole burst).
+            self.demuxes = [
+                CycleAxiDemux(
+                    f"xdemux{index}", self.ports[index], self.link_ports[index],
+                    address_map, stats=self.stats, check_straddle=False,
+                )
+                for index in range(config.num_engines)
+            ]
+            self.channel_stats = [
+                StatsRegistry() for _ in range(config.num_channels)
+            ]
+            self.channel_muxes = [
+                CycleAxiMux(
+                    f"xmux{col}",
+                    [self.link_ports[row][col]
+                     for row in range(config.num_engines)],
+                    self.channel_ports[col],
+                    arbitration=config.arbitration,
+                    stats=self.channel_stats[col],
+                )
+                for col in range(config.num_channels)
+            ]
+            self.memories = []
+            self.endpoints = []
+            for col in range(config.num_channels):
+                memory, endpoint = self._build_channel_stack(
+                    str(col), self.channel_ports[col], self.channel_stats[col]
+                )
+                if memory is not None:
+                    self.memories.append(memory)
+                self.endpoints.append(endpoint)
+            self.memory = None
+            self.endpoint = None
+
+    def _build_channel_stack(
+        self, suffix: str, port: AxiPort, stats: StatsRegistry
+    ) -> Tuple[Optional[BankedMemory], Union[AxiPackAdapter, IdealMemoryEndpoint]]:
+        """One memory channel: adapter + banked memory, or ideal endpoint.
+
+        Every stack serves the shared ``self.storage`` image; ``stats`` is
+        the registry the stack's components count into (the SoC-wide one for
+        single-channel SoCs, a private per-channel one on the crossbar).
+        """
+        config = self.config
+        if config.kind is SystemKind.IDEAL:
+            endpoint = IdealMemoryEndpoint(
+                f"ideal_mem{suffix}", port, self.storage,
+                latency=config.ideal_latency, stats=stats,
                 data_policy=self.data_policy,
             )
-            self.endpoint = AxiPackAdapter(
-                "adapter", self.port, self.memory, config.adapter_config(),
-                self.stats, data_policy=self.data_policy,
-            )
+            return None, endpoint
+        memory = BankedMemory(
+            f"banked_mem{suffix}", config.memory_config(), self.storage, stats,
+            data_policy=self.data_policy,
+        )
+        endpoint = AxiPackAdapter(
+            f"adapter{suffix}", port, memory, config.adapter_config(),
+            stats, data_policy=self.data_policy,
+        )
+        return memory, endpoint
 
     @property
     def kind(self) -> SystemKind:
         """Which of the three evaluation systems this is."""
         return self.config.kind
 
+    # ------------------------------------------------------------------ stats
+    def stats_snapshot(self) -> Dict[str, int]:
+        """Flat statistics for the most recent run.
+
+        Single-channel SoCs return the registry's counters unchanged — the
+        exact mapping every pre-crossbar consumer saw.  Multi-channel SoCs
+        merge the per-channel registries: each counter appears summed across
+        channels under its bare name (so topology-agnostic consumers keep
+        working) *and* per channel under a ``chan{j}.`` prefix (so analyses
+        can measure channel balance).
+        """
+        merged: Dict[str, int] = dict(self.stats.as_dict())
+        for index, stats in enumerate(self.channel_stats):
+            for name, value in stats.as_dict().items():
+                merged[name] = merged.get(name, 0) + value
+                merged[f"chan{index}.{name}"] = value
+        return merged
+
     # ------------------------------------------------------------------ runs
+    def _all_ports(self) -> List[AxiPort]:
+        """Every AXI port in the topology (engine, shared, link, channel)."""
+        ports = list(self.ports)
+        if self.mux is not None:
+            ports.append(self.port)
+        for row in self.link_ports:
+            ports.extend(row)
+        ports.extend(self.channel_ports)
+        return ports
+
     def _reset_for_run(self) -> None:
         """Restore every reusable piece of the SoC to its post-build state.
 
@@ -109,23 +230,28 @@ class Soc:
         untouched either way).
         """
         self.stats.reset()
-        self.endpoint.reset()
-        if self.memory is not None:
-            self.memory.reset()
+        for stats in self.channel_stats:
+            stats.reset()
+        for endpoint in self.endpoints:
+            endpoint.reset()
+        for memory in self.memories:
+            memory.reset()
         if self.mux is not None:
             self.mux.reset()
-        ports = self.ports if self.mux is None else [*self.ports, self.port]
-        for port in ports:
+        for demux in self.demuxes:
+            demux.reset()
+        for mux in self.channel_muxes:
+            mux.reset()
+        for port in self._all_ports():
             for queue in port.all_queues():
                 if not queue.is_empty():
                     queue.clear()
 
     def _check_drained(self) -> None:
         """Assert the per-run queue contract: every channel ends empty."""
-        ports = self.ports if self.mux is None else [*self.ports, self.port]
         stuck = [
             queue.name
-            for port in ports
+            for port in self._all_ports()
             for queue in port.all_queues()
             if not queue.is_empty()
         ]
@@ -166,7 +292,16 @@ class Soc:
         max_cycles: int = 50_000_000,
         event_driven: Optional[bool] = None,
     ) -> Tuple[int, List[EngineResult]]:
-        """Execute one program per vector engine; return (cycles, results)."""
+        """Execute one program per vector engine; return (cycles, results).
+
+        Whatever the topology — direct wiring, N engines muxed onto one
+        shared channel, or the full N×M demux/mux crossbar — this registers
+        every component and AXI queue of the instantiated system with a
+        fresh simulation engine and runs until all vector engines retire
+        their programs.  Per-run statistics land in the SoC-wide registry
+        plus, on multi-channel SoCs, one private registry per channel; read
+        them through :meth:`stats_snapshot`.
+        """
         if len(programs) != self.num_engines:
             raise ConfigurationError(
                 f"got {len(programs)} programs for {self.num_engines} engines"
@@ -197,22 +332,34 @@ class Soc:
         self.last_engines: List[VectorEngine] = vectors
         # Registration wires the wake machinery: each component subscribes to
         # the queues named by its ``wake_queues`` (the AXI port channels, the
-        # banked memory's request/response queues), and registered queues act
-        # as the engine's dirty/wake lists.
+        # banked memories' request/response queues), and registered queues
+        # act as the engine's dirty/wake lists.
         for vector in vectors:
             engine.add_component(vector)
         if self.mux is not None:
             engine.add_component(self.mux)
-        engine.add_component(self.endpoint)
-        if self.memory is not None:
-            engine.add_component(self.memory)
-            for queue in self.memory.all_queues():
+        for demux in self.demuxes:
+            engine.add_component(demux)
+        for mux in self.channel_muxes:
+            engine.add_component(mux)
+        for endpoint in self.endpoints:
+            engine.add_component(endpoint)
+        for memory in self.memories:
+            engine.add_component(memory)
+            for queue in memory.all_queues():
                 engine.add_queue(queue)
         for port in self.ports:
             for queue in port.all_queues():
                 engine.add_queue(queue)
         if self.mux is not None:
             for queue in self.port.all_queues():
+                engine.add_queue(queue)
+        for row in self.link_ports:
+            for port in row:
+                for queue in port.all_queues():
+                    engine.add_queue(queue)
+        for port in self.channel_ports:
+            for queue in port.all_queues():
                 engine.add_queue(queue)
         if len(vectors) == 1:
             done = vectors[0].done

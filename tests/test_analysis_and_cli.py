@@ -46,7 +46,7 @@ class TestExperimentRegistry:
     def test_all_experiments_registered(self):
         expected = {"fig3a", "fig3b", "fig3c", "fig3d", "fig3e",
                     "fig4a", "fig4b", "fig4c", "fig5a", "fig5b", "fig5c",
-                    "contention"}
+                    "contention", "pareto"}
         assert set(EXPERIMENTS) == expected
 
     def test_unknown_experiment_rejected(self):

@@ -1,0 +1,27 @@
+"""Tier-1 wrapper around the documentation checker (CI ``docs-check``)."""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_docs  # noqa: E402
+
+
+def test_every_cli_surface_documented():
+    from repro.cli import _build_parser
+
+    corpus = "\n".join(
+        (REPO_ROOT / doc).read_text(encoding="utf-8")
+        for doc in check_docs.DOC_FILES
+    )
+    assert check_docs.check_cli_documented(_build_parser(), corpus) == []
+
+
+def test_intra_repo_links_resolve():
+    assert check_docs.check_links(check_docs.DOC_FILES) == []
+
+
+def test_checker_exit_status():
+    assert check_docs.main() == 0

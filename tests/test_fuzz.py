@@ -248,8 +248,8 @@ class TestDifferentialRunner:
              OpSpec("vse", src=0, count=3)),
         ))
         report = run_fuzz_case(case)
-        assert len(report.points) == 12
-        assert set(report.cycles_by_topology) == {1, 2}
+        assert len(report.points) == 16
+        assert set(report.cycles_by_topology) == {(1, 1), (2, 1), (2, 2)}
 
     def test_divergence_carries_the_case_for_shrinking(self):
         # Sabotage: claim ELIDE cycles differ by asking for an absurdly low
