@@ -141,6 +141,19 @@ def main(argv=None) -> int:
     gate_throughput("ELIDE", current, baseline, "elide_cycles_per_sec",
                     machine_ratio, args.threshold_pct, failures)
 
+    # Supervision gate: the bench run's fault-free supervised sweep must
+    # record zero retries/timeouts/rebuilds (supervision never perturbs the
+    # happy path).  Older payloads predate the counters; skip them.
+    supervision = current.get("supervision")
+    if supervision is not None:
+        active = {key: value for key, value in supervision.items() if value}
+        if active:
+            failures.append(
+                f"fault-free sweep recorded supervision activity: {active}"
+            )
+        else:
+            print("supervision: fault-free sweep, all counters zero")
+
     elide_speedup = current["totals"].get("elide_speedup")
     if elide_speedup is not None:
         print(f"ELIDE speedup over FULL: {elide_speedup:.2f}x")

@@ -47,7 +47,15 @@ from typing import List, Optional
 from repro.analysis.experiments import EXPERIMENTS, run_experiment
 from repro.analysis.fig3 import SCALES
 from repro.analysis.report import write_csv
-from repro.orchestrate import ParallelRunner, ResultCache, default_cache_dir, run_sweep
+from repro.orchestrate import (
+    ManifestError,
+    ParallelRunner,
+    ResultCache,
+    RetryPolicy,
+    SweepManifest,
+    default_cache_dir,
+    run_sweep,
+)
 from repro.system.config import SystemConfig
 from repro.system.runner import compare_systems_many
 from repro.version import __version__
@@ -90,6 +98,22 @@ def _add_orchestration_options(parser: argparse.ArgumentParser,
                              f"--no-cache is given (default: {default_cache_dir()})")
     parser.add_argument("--progress", action="store_true",
                         help="print one line per finished simulation run")
+    parser.add_argument("--spec-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock timeout per simulation run when "
+                             "jobs > 1: a hung worker is killed, the pool "
+                             "rebuilt, and the run retried with backoff "
+                             "(default: no timeout)")
+    parser.add_argument("--retries", type=int, default=3, metavar="N",
+                        help="retry budget: at most N attempts per simulation "
+                             "for retryable failures — its own timeouts and "
+                             "transient errors (default: 3); worker deaths "
+                             "are bounded separately by the pool-rebuild "
+                             "budget")
+    parser.add_argument("--journal", metavar="FILE",
+                        help="write a JSON supervision report (per-run "
+                             "attempts, durations, failure kinds, retry/"
+                             "timeout counters) after the command")
     parser.set_defaults(cache_default=cache_default)
 
 
@@ -113,16 +137,29 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_parser = subparsers.add_parser(
         "sweep", help="run several experiments through one shared cache and pool"
     )
-    sweep_parser.add_argument("experiments", nargs="+", metavar="EXPERIMENT",
+    sweep_parser.add_argument("experiments", nargs="*", metavar="EXPERIMENT",
                               help=f"figure ids to run ({', '.join(sorted(EXPERIMENTS))}) "
-                                   "or 'all'")
+                                   "or 'all' (omit only with --resume)")
     sweep_parser.add_argument("--scale", choices=sorted(SCALES), default="small",
                               help="problem size for simulation-based experiments")
     sweep_parser.add_argument("--csv-dir", metavar="DIR",
                               help="also write each table to DIR/<experiment>.csv")
     sweep_parser.add_argument("--json", action="store_true",
                               help="print a machine-readable JSON summary "
-                                   "(tables, cache statistics) instead of text")
+                                   "(tables, cache and supervision statistics) "
+                                   "instead of text")
+    manifest_group = sweep_parser.add_mutually_exclusive_group()
+    manifest_group.add_argument("--manifest", metavar="FILE",
+                                help="record sweep progress in a crash-"
+                                     "consistent manifest so an interrupted "
+                                     "sweep can be resumed (requires the "
+                                     "persistent cache)")
+    manifest_group.add_argument("--resume", metavar="FILE",
+                                help="resume the sweep recorded in FILE: "
+                                     "re-runs only the simulations whose "
+                                     "results are not yet cached, using the "
+                                     "experiments/scale/config recorded at "
+                                     "--manifest time")
     _add_orchestration_options(sweep_parser, cache_default=True)
 
     wl_parser = subparsers.add_parser(
@@ -248,6 +285,15 @@ def _system_config(args: argparse.Namespace) -> SystemConfig:
     return SystemConfig(**kwargs)
 
 
+def _retry_policy(args: argparse.Namespace) -> RetryPolicy:
+    kwargs = {}
+    if getattr(args, "spec_timeout", None) is not None:
+        kwargs["timeout_s"] = args.spec_timeout
+    if getattr(args, "retries", None) is not None:
+        kwargs["max_attempts"] = args.retries
+    return RetryPolicy(**kwargs)
+
+
 def _make_runner(args: argparse.Namespace) -> ParallelRunner:
     if args.cache is not None:  # explicit --cache / --no-cache wins
         enabled = args.cache
@@ -260,7 +306,22 @@ def _make_runner(args: argparse.Namespace) -> ParallelRunner:
     progress = None
     if args.progress:
         progress = lambda event: print(event.render(), file=sys.stderr)
-    return ParallelRunner(jobs=args.jobs, cache=cache, progress=progress)
+    return ParallelRunner(jobs=args.jobs, cache=cache, progress=progress,
+                          policy=_retry_policy(args))
+
+
+def _write_journal(runner: ParallelRunner, path: Optional[str]) -> None:
+    """Dump the runner's supervision journal (best effort, never fatal)."""
+    if not path:
+        return
+    import json
+
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(runner.journal(), handle, indent=2, sort_keys=True)
+    except OSError as exc:
+        print(f"warning: could not write journal {path}: {exc}",
+              file=sys.stderr)
 
 
 def _report_cache(runner: ParallelRunner) -> None:
@@ -286,6 +347,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
             write_csv(table, args.csv)
             print(f"wrote {args.csv}")
         _report_cache(runner)
+        _write_journal(runner, args.journal)
+    return 0
+
+
+def _apply_resume_request(args: argparse.Namespace, manifest: SweepManifest) -> int:
+    """Overlay the sweep request recorded in ``manifest`` onto ``args``."""
+    request = manifest.request
+    if args.experiments:
+        print("error: --resume replays the recorded experiment list; "
+              "do not name experiments as well", file=sys.stderr)
+        return 2
+    if not request.get("experiments"):
+        print(f"error: manifest {args.resume} records no experiments",
+              file=sys.stderr)
+        return 2
+    args.experiments = list(request["experiments"])
+    args.scale = request.get("scale", args.scale)
+    args.timing_only = bool(request.get("timing_only", False))
+    args.engines = request.get("engines", 1)
+    args.channels = request.get("channels", 1)
+    args.arbitration = request.get("arbitration", "rr")
+    # Resume is only meaningful against the same persistent result cache.
+    args.cache = True
+    args.cache_dir = request.get("cache_dir") or args.cache_dir
     return 0
 
 
@@ -296,7 +381,40 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.errors import ConfigurationError
     from repro.orchestrate.cache import MemoryCache
 
+    manifest: Optional[SweepManifest] = None
+    if args.resume:
+        try:
+            manifest = SweepManifest.load(args.resume)
+        except ManifestError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        status = _apply_resume_request(args, manifest)
+        if status:
+            return status
+        print(f"resuming sweep from {args.resume}: {manifest.summary()}",
+              file=sys.stderr)
+    elif not args.experiments:
+        print("error: name at least one experiment (or use --resume)",
+              file=sys.stderr)
+        return 2
+
     with _make_runner(args) as runner:
+        if args.manifest:
+            if runner.cache is None or not hasattr(runner.cache, "cache_dir"):
+                print("error: --manifest needs the persistent result cache; "
+                      "drop --no-cache", file=sys.stderr)
+                return 2
+            manifest = SweepManifest.create(args.manifest, request={
+                "experiments": list(args.experiments),
+                "scale": args.scale,
+                "timing_only": bool(getattr(args, "timing_only", False)),
+                "engines": getattr(args, "engines", 1),
+                "channels": getattr(args, "channels", 1),
+                "arbitration": getattr(args, "arbitration", "rr"),
+                # Absolute, so --resume works from any working directory.
+                "cache_dir": os.path.abspath(str(runner.cache.cache_dir)),
+            })
+        runner.checkpoint = manifest
         if runner.cache is None:
             # Intra-sweep dedup even under --no-cache: identical runs across
             # the sweep's experiments execute once, nothing touches disk.
@@ -307,6 +425,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         except ConfigurationError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+        except ManifestError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        finally:
+            # The journal is most valuable precisely when the sweep died.
+            _write_journal(runner, args.journal)
         if args.csv_dir:
             os.makedirs(args.csv_dir, exist_ok=True)
         for name, table in tables.items():
@@ -335,13 +459,29 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                     "hits": stats.hits,
                     "misses": stats.misses,
                     "stores": stats.stores,
+                    "corrupt": stats.corrupt,
                     "dir": getattr(runner.cache, "cache_dir", None),
                 },
+                "supervision": runner.counters.to_json(),
             }
+            if manifest is not None:
+                summary["manifest"] = {
+                    "path": str(manifest.path),
+                    "done": manifest.done_count(),
+                    "pending": manifest.pending_count(),
+                }
             print(json.dumps(summary, indent=2, sort_keys=True, default=str))
         else:
             print(f"swept {len(tables)} experiment{'s' if len(tables) != 1 else ''} "
                   f"at scale={args.scale} with jobs={args.jobs}")
+            if manifest is not None:
+                print(f"manifest: {manifest.summary()} ({manifest.path})")
+            if runner.counters.any_activity():
+                counters = runner.counters
+                print(f"supervision: {counters.retries} retries, "
+                      f"{counters.timeouts} timeouts, "
+                      f"{counters.worker_losses} worker losses, "
+                      f"{counters.pool_rebuilds} pool rebuilds")
             _report_cache(runner)
     return 0
 
@@ -390,6 +530,7 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
                   f"{comparison.pack.r_utilization:5.1%} / "
                   f"{comparison.ideal.r_utilization:5.1%}")
         _report_cache(runner)
+        _write_journal(runner, args.journal)
     return 0
 
 
@@ -423,6 +564,7 @@ def _cmd_pareto(args: argparse.Namespace) -> int:
             write_csv(table, args.csv)
             print(f"wrote {args.csv}")
         _report_cache(runner)
+        _write_journal(runner, args.journal)
     return 0
 
 
@@ -526,6 +668,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         elif args.prune:
             summary["pruned"] = cache.prune()
         summary["entries"] = len(cache)
+        summary["corrupt"] = cache.corrupt_entries()
         print(json.dumps(summary, indent=2, sort_keys=True))
         return 0
     if args.clear:
@@ -535,6 +678,11 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     else:
         print(f"cache dir: {cache.cache_dir}")
         print(f"entries:   {len(cache)}")
+        corrupt = cache.corrupt_entries()
+        if corrupt:
+            print(f"corrupt:   {corrupt} quarantined .corrupt "
+                  f"file{'s' if corrupt != 1 else ''} (prune or clear to "
+                  f"delete)")
     return 0
 
 

@@ -63,12 +63,16 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     errors: int = 0
+    corrupt: int = 0
 
     def summary(self) -> str:
         """One-line human-readable summary."""
-        return (f"{self.hits} hit{'s' if self.hits != 1 else ''}, "
+        text = (f"{self.hits} hit{'s' if self.hits != 1 else ''}, "
                 f"{self.misses} miss{'es' if self.misses != 1 else ''}, "
                 f"{self.stores} stored")
+        if self.corrupt:
+            text += f", {self.corrupt} quarantined"
+        return text
 
 
 class MemoryCache:
@@ -135,17 +139,24 @@ class ResultCache:
         except FileNotFoundError:
             self.stats.misses += 1
             return MISS
-        except (OSError, ValueError):
-            # ValueError covers json.JSONDecodeError and the
-            # UnicodeDecodeError a binary-corrupted file raises.
+        except ValueError:
+            # Covers json.JSONDecodeError and the UnicodeDecodeError a
+            # binary-corrupted file raises: the entry is truncated or
+            # garbage — quarantine it so the damage is visible.
+            self.stats.misses += 1
+            self.stats.errors += 1
+            self._quarantine(path)
+            return MISS
+        except OSError:
             self.stats.misses += 1
             self.stats.errors += 1
             return MISS
         if not isinstance(entry, dict):
             # Valid JSON but not an entry (corrupt or foreign file): a miss,
-            # never a crash.
+            # never a crash — but quarantined, so it is not silent either.
             self.stats.misses += 1
             self.stats.errors += 1
+            self._quarantine(path)
             return MISS
         from repro.orchestrate.spec import canonicalize
 
@@ -156,8 +167,11 @@ class ResultCache:
         try:
             result = spec.result_from_json(entry["result"])
         except (KeyError, TypeError, ValueError):
+            # Fingerprint matched but the payload does not parse: the entry
+            # body is damaged.  Quarantine rather than silently missing.
             self.stats.misses += 1
             self.stats.errors += 1
+            self._quarantine(path)
             return MISS
         if not _result_compatible(spec, result):
             self.stats.misses += 1
@@ -190,11 +204,42 @@ class ResultCache:
             return
         self.stats.stores += 1
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a damaged entry aside as ``<name>.corrupt`` and count it.
+
+        The sidecar keeps the evidence (what *did* the bytes look like?)
+        while getting the file out of the key namespace so the next
+        ``put()`` can heal the entry.
+        """
+        try:
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:
+            self.stats.errors += 1
+            return
+        self.stats.corrupt += 1
+
+    def corrupt_entries(self) -> int:
+        """How many quarantined ``.corrupt`` files sit in the cache dir."""
+        try:
+            return sum(1 for _ in self.cache_dir.glob("*.corrupt"))
+        except OSError:
+            return 0
+
     def prune(self) -> int:
-        """Delete entries from another package version or cache schema."""
+        """Delete entries from another package version or cache schema.
+
+        Quarantined ``.corrupt`` sidecars are deleted too — they are by
+        definition useless, prune is the explicit clean-up gesture.
+        """
         from repro.orchestrate.spec import CACHE_SCHEMA_VERSION
 
         removed = self._remove_orphaned_tmp()
+        for path in self.cache_dir.glob("*.corrupt"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                self.stats.errors += 1
         for path in self.cache_dir.glob("*.json"):
             try:
                 with open(path, "r", encoding="utf-8") as handle:
@@ -218,9 +263,11 @@ class ResultCache:
         return removed
 
     def clear(self) -> int:
-        """Delete every cache entry; returns the number removed."""
+        """Delete every cache entry (and quarantined sidecar); returns the
+        number removed."""
         removed = self._remove_orphaned_tmp()
-        for path in self.cache_dir.glob("*.json"):
+        for path in list(self.cache_dir.glob("*.corrupt")) \
+                + list(self.cache_dir.glob("*.json")):
             try:
                 path.unlink()
                 removed += 1

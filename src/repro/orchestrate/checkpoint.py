@@ -1,0 +1,191 @@
+"""Crash-consistent sweep manifests for ``repro sweep --resume``.
+
+A :class:`SweepManifest` is the durable progress record of one sweep: the
+request that started it (experiments, scale, system-config knobs, cache
+directory) plus one entry per spec — its canonical fingerprint and whether
+its result has been safely recorded.  The file is rewritten atomically
+(temp file + ``os.replace``, the same discipline as
+:class:`~repro.orchestrate.cache.ResultCache`) on *every* completion, so a
+``SIGKILL``-ed supervisor always leaves either the previous consistent
+manifest or the next one — never a torn file.
+
+Resume contract: results themselves live in the persistent
+:class:`~repro.orchestrate.cache.ResultCache`; the manifest contributes the
+request (so ``repro sweep --resume M`` needs no repeated arguments), the
+progress accounting, and the safety checks — a manifest written by a
+different package version or cache schema is rejected rather than silently
+re-interpreted, and a spec whose recorded fingerprint no longer matches the
+running code's fingerprint for the same key is an error, not a stale
+completion.  Re-running a resumed sweep executes only the specs whose
+results are not in the cache, which is exactly the not-yet-marked-done set.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.errors import ReproError
+from repro.orchestrate.spec import CACHE_SCHEMA_VERSION, canonicalize, spec_ref
+from repro.version import __version__
+
+#: Bump when the manifest layout changes incompatibly.
+MANIFEST_SCHEMA_VERSION = 1
+
+
+class ManifestError(ReproError):
+    """A sweep manifest is unreadable, torn, or from different code."""
+
+
+class SweepManifest:
+    """Durable per-spec completion state for one sweep, updated atomically."""
+
+    def __init__(self, path: os.PathLike, data: Dict[str, Any]) -> None:
+        self.path = Path(path)
+        self._data = data
+
+    # ------------------------------------------------------------ lifecycle
+    @classmethod
+    def create(cls, path: os.PathLike,
+               request: Optional[Dict[str, Any]] = None) -> "SweepManifest":
+        """Start a fresh manifest at ``path``, recording the sweep request."""
+        manifest = cls(path, {
+            "manifest_schema": MANIFEST_SCHEMA_VERSION,
+            "version": __version__,
+            "cache_schema": CACHE_SCHEMA_VERSION,
+            "request": dict(request or {}),
+            "specs": {},
+        })
+        manifest._flush()
+        return manifest
+
+    @classmethod
+    def load(cls, path: os.PathLike) -> "SweepManifest":
+        """Open an existing manifest, verifying it matches the running code."""
+        path = Path(path)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except FileNotFoundError:
+            raise ManifestError(f"no sweep manifest at {path}")
+        except (OSError, ValueError) as exc:
+            raise ManifestError(f"unreadable sweep manifest {path}: {exc}")
+        if not isinstance(data, dict):
+            raise ManifestError(f"sweep manifest {path} is not a JSON object")
+        schema = data.get("manifest_schema")
+        if schema != MANIFEST_SCHEMA_VERSION:
+            raise ManifestError(
+                f"sweep manifest {path} has schema {schema!r}, this code "
+                f"writes {MANIFEST_SCHEMA_VERSION} — re-run without --resume"
+            )
+        if (data.get("version") != __version__
+                or data.get("cache_schema") != CACHE_SCHEMA_VERSION):
+            raise ManifestError(
+                f"sweep manifest {path} was recorded by package version "
+                f"{data.get('version')!r} (cache schema "
+                f"{data.get('cache_schema')!r}); running code is "
+                f"{__version__!r} (cache schema {CACHE_SCHEMA_VERSION}) — "
+                f"results would not be comparable, re-run without --resume"
+            )
+        data.setdefault("request", {})
+        data.setdefault("specs", {})
+        return cls(path, data)
+
+    # ------------------------------------------------------------ recording
+    def record_specs(self, specs: Iterable[Any]) -> None:
+        """Register specs (idempotent) and verify fingerprints of known ones.
+
+        A key recorded with a different fingerprint than the running code
+        computes means the manifest and the code disagree about what the
+        sweep *is* — resuming would silently mix incompatible results.
+        """
+        changed = False
+        for spec in specs:
+            label, key = spec_ref(spec)
+            if key is None:
+                continue
+            fingerprint = canonicalize(spec.fingerprint())
+            entry = self._data["specs"].get(key)
+            if entry is None:
+                self._data["specs"][key] = {
+                    "label": label,
+                    "fingerprint": fingerprint,
+                    "done": False,
+                }
+                changed = True
+            elif entry.get("fingerprint") != fingerprint:
+                raise ManifestError(
+                    f"sweep manifest {self.path} records a different "
+                    f"fingerprint for spec {label!r} (key {key}) — "
+                    f"the sweep definition changed, re-run without --resume"
+                )
+        if changed:
+            self._flush()
+
+    def mark_done(self, spec: Any) -> None:
+        """Durably mark a spec complete (idempotent, atomic flush)."""
+        _label_unused, key = spec_ref(spec)
+        if key is None:
+            return
+        entry = self._data["specs"].get(key)
+        if entry is None or entry.get("done"):
+            return
+        entry["done"] = True
+        self._flush()
+
+    # ------------------------------------------------------------ queries
+    @property
+    def request(self) -> Dict[str, Any]:
+        """The sweep request recorded at creation (experiments, scale, ...)."""
+        return dict(self._data["request"])
+
+    def done_keys(self) -> List[str]:
+        return sorted(key for key, entry in self._data["specs"].items()
+                      if entry.get("done"))
+
+    def pending_keys(self) -> List[str]:
+        return sorted(key for key, entry in self._data["specs"].items()
+                      if not entry.get("done"))
+
+    def done_count(self) -> int:
+        return len(self.done_keys())
+
+    def pending_count(self) -> int:
+        return len(self.pending_keys())
+
+    def total_count(self) -> int:
+        return len(self._data["specs"])
+
+    def summary(self) -> str:
+        """One-line progress rendering for the CLI."""
+        return (f"{self.done_count()}/{self.total_count()} specs done, "
+                f"{self.pending_count()} pending")
+
+    def to_json(self) -> Dict[str, Any]:
+        return json.loads(json.dumps(self._data))
+
+    # ------------------------------------------------------------ plumbing
+    def _flush(self) -> None:
+        """Atomically rewrite the manifest file.
+
+        Unlike the best-effort result cache, manifest write failures raise:
+        a resume record that silently stopped updating is worse than no
+        resume record at all.
+        """
+        directory = self.path.parent
+        directory.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=str(directory),
+                                   prefix=self.path.name, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(self._data, handle, sort_keys=True, indent=1)
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

@@ -1,0 +1,281 @@
+"""Deterministic fault injection for the orchestration layer.
+
+The supervised runner (:mod:`repro.orchestrate.supervisor`) promises that
+sweeps survive worker death, hangs and supervisor crashes.  This module is
+how that promise is *tested*: a :class:`FaultPlan` describes exactly which
+spec executions misbehave and how, and the runner threads the plan into
+every execution site — worker processes, the serial fallback path, and the
+result-recording hot path on the supervisor itself.
+
+A plan is plain data (picklable, JSON round-trippable) so it crosses process
+boundaries with the spec payloads and can be injected from the environment::
+
+    REPRO_FAULTS='{"faults": [{"kind": "kill", "index": 1, "attempt": 0}]}' \
+        repro sweep fig3b --scale tiny --jobs 2 --spec-timeout 5
+
+Fault kinds:
+
+``kill``
+    The worker process exits abruptly (``os._exit``) — the parent sees a
+    ``BrokenProcessPool``, exactly like an OOM kill or a segfault.
+``hang``
+    The execution sleeps ``delay_s`` seconds before running — push it past
+    the runner's per-spec timeout to simulate a wedged worker.
+``transient``
+    Raises :class:`TransientError`, the retryable failure class (think
+    flaky NFS read); the supervisor retries it with backoff.
+``error``
+    Raises :class:`InjectedFaultError`, a permanent failure: the supervisor
+    records it and propagates, like any other spec bug.
+``corrupt-cache``
+    After the result is stored, its on-disk cache entry is truncated —
+    exercising the cache's quarantine path (see
+    :meth:`repro.orchestrate.cache.ResultCache.get`).
+``kill-supervisor``
+    SIGKILLs the *supervisor* process itself after ``after_results``
+    results have been recorded — the crash the sweep manifest
+    (:mod:`repro.orchestrate.checkpoint`) must survive.
+
+Faults are keyed by ``(index, attempt)``: the spec's position in its
+``runner.run()`` batch and the 0-based attempt number.  Because attempt
+numbers advance across retries, an attempt-0 fault fires exactly once and
+the retry machinery gets to prove it recovers.  ``index=None`` or
+``attempt=None`` match any value.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from dataclasses import asdict, dataclass
+from random import Random
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Environment variable carrying a JSON fault plan (see module docstring).
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: Every fault kind a :class:`FaultSpec` accepts.
+FAULT_KINDS = (
+    "kill", "hang", "transient", "error", "corrupt-cache", "kill-supervisor",
+)
+
+
+class TransientError(RuntimeError):
+    """A retryable failure: the supervisor retries these with backoff.
+
+    Spec executions (or fault injection) raise this to signal "try again";
+    any other exception is treated as permanent and propagates.
+    """
+
+
+class InjectedFaultError(RuntimeError):
+    """A deliberately injected *permanent* failure (``kind="error"``)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault, matched by batch index and attempt number.
+
+    ``once=True`` switches from attempt-keyed to *exactly-once* semantics:
+    the fault fires on the spec's first actual execution, whatever attempt
+    number that turns out to be, and never again — tracked through a marker
+    file in the plan's ``state_dir`` so the guarantee holds across worker
+    processes and pool rebuilds.  This is the right mode for ``kill`` and
+    ``hang``: a worker death requeues innocent in-flight specs with advanced
+    attempt numbers, so an attempt-keyed fault on such a spec would silently
+    never fire.
+    """
+
+    kind: str
+    index: Optional[int] = None      #: batch index to target (None: any)
+    attempt: Optional[int] = 0       #: attempt number to fire on (None: any)
+    delay_s: float = 30.0            #: sleep duration for ``hang``
+    after_results: int = 1           #: result count for ``kill-supervisor``
+    once: bool = False               #: fire on first execution, exactly once
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; known: {FAULT_KINDS}"
+            )
+
+    def matches(self, index: int, attempt: int) -> bool:
+        """Whether this fault fires for execution ``(index, attempt)``."""
+        if self.index is not None and self.index != index:
+            return False
+        if self.once:
+            return True  # any attempt; the marker file enforces exactly-once
+        return self.attempt is None or self.attempt == attempt
+
+    def marker_name(self) -> str:
+        target = "any" if self.index is None else str(self.index)
+        return f"{self.kind}-{target}"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic set of faults to inject into one sweep.
+
+    ``state_dir`` (required whenever a fault has ``once=True``) holds the
+    marker files that make once-faults exactly-once across processes.
+    """
+
+    faults: Tuple[FaultSpec, ...] = ()
+    seed: int = 0
+    state_dir: Optional[str] = None
+
+    # ------------------------------------------------------------ building
+    @classmethod
+    def from_json(cls, payload: Any) -> "FaultPlan":
+        """Build a plan from the JSON form (a dict or a JSON string)."""
+        if isinstance(payload, str):
+            try:
+                payload = json.loads(payload)
+            except ValueError as exc:
+                raise ConfigurationError(f"invalid fault plan JSON: {exc}")
+        if not isinstance(payload, dict):
+            raise ConfigurationError(
+                f"fault plan must be a JSON object, got {type(payload).__name__}"
+            )
+        try:
+            faults = tuple(FaultSpec(**fault) for fault in payload.get("faults", ()))
+        except TypeError as exc:
+            raise ConfigurationError(f"invalid fault spec: {exc}")
+        return cls(faults=faults, seed=int(payload.get("seed", 0)),
+                   state_dir=payload.get("state_dir"))
+
+    @classmethod
+    def from_env(cls) -> Optional["FaultPlan"]:
+        """The plan named by ``$REPRO_FAULTS``, or None when unset/empty."""
+        raw = os.environ.get(FAULTS_ENV)
+        if not raw:
+            return None
+        return cls.from_json(raw)
+
+    @classmethod
+    def random(cls, seed: int, num_specs: int, state_dir: str,
+               kills: int = 3, hangs: int = 1, transients: int = 0,
+               hang_delay_s: float = 30.0) -> "FaultPlan":
+        """A seeded chaos plan: exactly-once faults on distinct specs.
+
+        The chaos CI job derives its plan this way — same seed, same plan,
+        so a red run reproduces locally with one environment variable.  All
+        faults are ``once=True`` (markers under ``state_dir``), so every
+        planned fault actually fires no matter how collateral pool
+        breakage reshuffles attempt numbers.
+        """
+        wanted = kills + hangs + transients
+        if wanted > num_specs:
+            raise ConfigurationError(
+                f"cannot place {wanted} faults on {num_specs} specs"
+            )
+        rng = Random(seed)
+        indices = rng.sample(range(num_specs), wanted)
+        faults = []
+        for index in indices[:kills]:
+            faults.append(FaultSpec(kind="kill", index=index, once=True))
+        for index in indices[kills:kills + hangs]:
+            faults.append(FaultSpec(kind="hang", index=index, once=True,
+                                    delay_s=hang_delay_s))
+        for index in indices[kills + hangs:]:
+            faults.append(FaultSpec(kind="transient", index=index, once=True))
+        return cls(faults=tuple(faults), seed=seed, state_dir=state_dir)
+
+    def to_json(self) -> Dict[str, Any]:
+        """The JSON form accepted by :meth:`from_json` / ``$REPRO_FAULTS``."""
+        return {"seed": self.seed, "state_dir": self.state_dir,
+                "faults": [asdict(f) for f in self.faults]}
+
+    # ----------------------------------------------------- injection sites
+    def _matching(self, index: int, attempt: int,
+                  kinds: Iterable[str]) -> Iterable[FaultSpec]:
+        for fault in self.faults:
+            if fault.kind in kinds and fault.matches(index, attempt):
+                yield fault
+
+    def _claim_once(self, fault: FaultSpec) -> bool:
+        """Atomically claim an exactly-once fault; False if already fired.
+
+        The marker is created *before* the fault acts, so even an
+        ``os._exit`` kill cannot fire twice.
+        """
+        if self.state_dir is None:
+            raise ConfigurationError(
+                "a once=True fault needs the plan's state_dir for its marker"
+            )
+        os.makedirs(self.state_dir, exist_ok=True)
+        marker = os.path.join(self.state_dir, fault.marker_name())
+        try:
+            handle = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        os.close(handle)
+        return True
+
+    def before_execute(self, index: int, attempt: int) -> None:
+        """Injection site at the top of every spec execution.
+
+        Runs in the worker process on the pool path and in the supervisor
+        process on the serial path — a ``kill`` there takes the supervisor
+        down with it, which is precisely the crash ``--resume`` covers.
+        """
+        for fault in self._matching(index, attempt,
+                                    ("kill", "hang", "transient", "error")):
+            if fault.once and not self._claim_once(fault):
+                continue
+            if fault.kind == "hang":
+                time.sleep(fault.delay_s)
+            elif fault.kind == "kill":
+                os._exit(13)  # abrupt worker death: no cleanup, no excuses
+            elif fault.kind == "transient":
+                raise TransientError(
+                    f"injected transient fault (spec {index}, attempt {attempt})"
+                )
+            else:
+                raise InjectedFaultError(
+                    f"injected permanent fault (spec {index}, attempt {attempt})"
+                )
+
+    def after_store(self, index: int, spec, cache) -> None:
+        """Injection site after a result lands in the cache.
+
+        ``corrupt-cache`` faults match on index alone — corruption models
+        bit-rot on disk, which does not care which attempt stored the file.
+        """
+        path_for = getattr(cache, "path_for", None)
+        if path_for is None:
+            return
+        for fault in self.faults:
+            if fault.kind != "corrupt-cache":
+                continue
+            if fault.index is not None and fault.index != index:
+                continue
+            path = path_for(spec)
+            try:
+                with open(path, "r+b") as handle:
+                    handle.truncate(max(1, path.stat().st_size // 2))
+            except OSError:
+                pass
+
+    def on_result_recorded(self, count: int) -> None:
+        """Injection site after the supervisor records its ``count``-th result."""
+        for fault in self.faults:
+            if fault.kind == "kill-supervisor" and fault.after_results == count:
+                os.kill(os.getpid(), signal.SIGKILL)
+
+
+def execute_with_faults(spec, index: int, attempt: int,
+                        plan: Optional[FaultPlan]):
+    """Execute ``spec`` with the plan's faults applied first.
+
+    This is the one choke point both the worker processes and the serial
+    fallback path go through, so fault behaviour is identical across
+    degradation tiers.
+    """
+    if plan is not None:
+        plan.before_execute(index, attempt)
+    return spec.execute()

@@ -1,4 +1,4 @@
-"""Fan independent simulation runs out across processes.
+"""Fan independent simulation runs out across processes, under supervision.
 
 Simulations are pure CPU-bound Python, so threads cannot help (GIL); the
 runner uses :class:`concurrent.futures.ProcessPoolExecutor`.  Specs are
@@ -7,20 +7,37 @@ plain dataclasses, and workloads are deterministic, so executing in worker
 processes yields bit-identical results to a serial loop — results are always
 collected back **in submission order** regardless of completion order.
 
-If a process pool cannot be created (restricted sandboxes, missing
-semaphores) the runner silently degrades to the serial path: orchestration
-never makes an experiment fail that would have worked serially.
+Execution is driven by :class:`~repro.orchestrate.supervisor.Supervisor`,
+which layers fault tolerance on top of the pool: per-spec wall-clock
+timeouts, bounded retries with backoff for transient failures, and pool
+rebuilds after worker death.  If a process pool cannot be created at all
+(restricted sandboxes, missing semaphores) or the rebuild budget runs out,
+the runner degrades to the serial tier: orchestration never makes an
+experiment fail that would have worked serially.
+
+The runner accumulates a :class:`~repro.orchestrate.supervisor.SpecOutcome`
+per spec and :class:`~repro.orchestrate.supervisor.SupervisionCounters`
+across its lifetime; :meth:`ParallelRunner.journal` renders both as the
+JSON report behind ``repro sweep --journal``.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
-from typing import Any, Callable, List, Optional, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.orchestrate.cache import MISS
+from repro.orchestrate.faults import FaultPlan
+from repro.orchestrate.spec import spec_ref
+from repro.orchestrate.supervisor import (
+    RetryPolicy,
+    SpecOutcome,
+    SupervisionCounters,
+    Supervisor,
+    kill_executor,
+)
 
 #: Progress callback signature: called once per finished spec.
 ProgressCallback = Callable[["RunProgress"], None]
@@ -28,26 +45,30 @@ ProgressCallback = Callable[["RunProgress"], None]
 
 @dataclass(frozen=True)
 class RunProgress:
-    """One progress event: ``done`` of ``total`` specs finished."""
+    """One progress event: ``done`` of ``total`` specs finished.
+
+    ``attempts`` counts execution attempts for this spec (1 on the happy
+    path) and ``outcome`` is the spec's final supervision status, so a
+    progress consumer can see retries without parsing the journal.
+    """
 
     done: int
     total: int
     spec: Any
     cached: bool
+    attempts: int = 1
+    outcome: str = "ok"
 
     def render(self) -> str:
         """Compact one-line rendering (used by the CLI)."""
         source = "cache" if self.cached else "run"
+        if not self.cached and self.attempts > 1:
+            source = f"run, attempt {self.attempts}"
         return f"[{self.done}/{self.total}] {self.spec.label()} ({source})"
 
 
-def _execute_spec(spec):
-    """Module-level worker so specs can be executed in child processes."""
-    return spec.execute()
-
-
 class ParallelRunner:
-    """Executes batches of specs with optional caching and parallelism.
+    """Executes batches of specs with caching, parallelism and supervision.
 
     Parameters
     ----------
@@ -63,29 +84,50 @@ class ParallelRunner:
     progress:
         Optional callback invoked with a :class:`RunProgress` after every
         spec resolves (from cache or execution).
+    policy:
+        A :class:`~repro.orchestrate.supervisor.RetryPolicy` controlling
+        timeouts, retry budget and backoff.  The default policy has no
+        timeout and only acts on injected/transient failures, so plain
+        runs behave exactly as before supervision existed.
+    checkpoint:
+        Optional :class:`~repro.orchestrate.checkpoint.SweepManifest`;
+        every spec is registered before execution and marked done after
+        its result is safely in the cache, enabling crash-safe resume.
+    faults:
+        Optional :class:`~repro.orchestrate.faults.FaultPlan` for
+        deterministic fault injection; defaults to the plan in
+        ``$REPRO_FAULTS`` (none in normal operation).
     """
 
     def __init__(self, jobs: Optional[int] = 1,
                  cache: Optional[Any] = None,
-                 progress: Optional[ProgressCallback] = None) -> None:
+                 progress: Optional[ProgressCallback] = None,
+                 policy: Optional[RetryPolicy] = None,
+                 checkpoint: Optional[Any] = None,
+                 faults: Optional[FaultPlan] = None) -> None:
         if jobs is None or jobs <= 0:
             jobs = os.cpu_count() or 1
         self.jobs = jobs
         self.cache = cache
         self.progress = progress
+        self.policy = policy or RetryPolicy()
+        self.checkpoint = checkpoint
+        self.faults = faults if faults is not None else FaultPlan.from_env()
+        self.counters = SupervisionCounters()
+        self.outcomes: List[SpecOutcome] = []
+        self._results_recorded = 0
         self._executor: Optional[ProcessPoolExecutor] = None
         self._pool_unavailable = False
 
     def close(self) -> None:
         """Shut down the worker pool (if one was ever created).
 
-        Queued-but-unstarted work is cancelled: when a batch aborts early
-        (a spec raised, Ctrl-C), nobody is waiting for the remaining
-        results, so finishing them would only delay the error.
+        Only called between batches (or after an aborted batch whose pool
+        was already killed), so cancelling queued futures cannot race
+        results still being collected — the supervisor never returns with
+        wanted work still in flight.
         """
-        if self._executor is not None:
-            self._executor.shutdown(cancel_futures=True)
-            self._executor = None
+        self._discard_executor(kill=False)
 
     def __enter__(self) -> "ParallelRunner":
         return self
@@ -94,42 +136,40 @@ class ParallelRunner:
         self.close()
 
     # ------------------------------------------------------------ helpers
-    def _notify(self, done: int, total: int, spec, cached: bool) -> None:
+    def _notify(self, done: int, total: int, spec, cached: bool,
+                attempts: int = 1, outcome: Optional[str] = None) -> None:
         if self.progress is not None:
-            self.progress(RunProgress(done=done, total=total, spec=spec, cached=cached))
+            if outcome is None:
+                outcome = "cached" if cached else "ok"
+            self.progress(RunProgress(done=done, total=total, spec=spec,
+                                      cached=cached, attempts=attempts,
+                                      outcome=outcome))
 
-    def _finish(self, spec, result, cached: bool):
-        if self.cache is not None and not cached:
+    def _finish(self, spec, result, outcome: Optional[SpecOutcome] = None):
+        """Record a freshly computed result: cache, checkpoint, fault hooks.
+
+        Ordering matters for crash consistency: the result reaches the
+        persistent cache *before* the manifest marks the spec done, and
+        both happen before the ``kill-supervisor`` injection hook — so a
+        crashed supervisor always leaves a resumable (cache, manifest)
+        pair behind.
+        """
+        if self.cache is not None:
             self.cache.put(spec, result)
+            if self.faults is not None and outcome is not None:
+                self.faults.after_store(outcome.index, spec, self.cache)
+        if self.checkpoint is not None:
+            self.checkpoint.mark_done(spec)
+        self._results_recorded += 1
+        if self.faults is not None:
+            self.faults.on_result_recorded(self._results_recorded)
         return result
-
-    # ---------------------------------------------------------------- api
-    def run(self, specs: Sequence[Any]) -> List[Any]:
-        """Execute every spec; return results in the order specs were given."""
-        specs = list(specs)
-        total = len(specs)
-        results: List[Any] = [MISS] * total
-        pending: List[int] = []
-        done = 0
-        for index, spec in enumerate(specs):
-            hit = self.cache.get(spec) if self.cache is not None else MISS
-            if hit is not MISS:
-                results[index] = hit
-                done += 1
-                self._notify(done, total, spec, cached=True)
-            else:
-                pending.append(index)
-
-        if len(pending) > 1 and self.jobs > 1:
-            done = self._run_pool(specs, pending, results, done, total)
-        else:
-            done = self._run_serial(specs, pending, results, done, total)
-        return results
 
     def _executor_or_none(self) -> Optional[ProcessPoolExecutor]:
         """The shared worker pool, created lazily on first parallel batch.
 
-        The pool lives for the runner's lifetime (until :meth:`close`), so a
+        The pool lives for the runner's lifetime (until :meth:`close`) or
+        until the supervisor kills it after a worker death/hang, so a
         multi-experiment sweep pays worker startup — interpreter + numpy
         import on spawn-based platforms — once, not once per experiment.
         """
@@ -144,41 +184,62 @@ class ParallelRunner:
                 return None
         return self._executor
 
-    def _run_serial(self, specs, pending, results, done, total) -> int:
-        for index in pending:
-            results[index] = self._finish(specs[index], specs[index].execute(),
-                                          cached=False)
-            done += 1
-            self._notify(done, total, specs[index], cached=False)
-        return done
-
-    def _run_pool(self, specs, pending, results, done, total) -> int:
-        executor = self._executor_or_none()
+    def _discard_executor(self, kill: bool = False) -> None:
+        """Release the current pool; ``kill`` tears down hung workers."""
+        executor, self._executor = self._executor, None
         if executor is None:
-            return self._run_serial(specs, pending, results, done, total)
-        # Pool construction succeeds lazily, so worker spawn failures and
-        # mid-run worker deaths surface as BrokenProcessPool — either
-        # synchronously from submit() or from future.result().  Both degrade
-        # to serial execution of whatever has not finished; subsequent
-        # batches skip the pool entirely.
-        remaining = set(pending)
-        try:
-            futures = {executor.submit(_execute_spec, specs[index]): index
-                       for index in pending}
-            for future in as_completed(futures):
-                index = futures[future]
-                try:
-                    result = future.result()
-                except BrokenProcessPool:
-                    self._pool_unavailable = True
-                    result = specs[index].execute()
-                results[index] = self._finish(specs[index], result, cached=False)
-                remaining.discard(index)
+            return
+        if kill:
+            kill_executor(executor)
+        else:
+            executor.shutdown(cancel_futures=True)
+
+    # ---------------------------------------------------------------- api
+    def run(self, specs: Sequence[Any]) -> List[Any]:
+        """Execute every spec; return results in the order specs were given."""
+        specs = list(specs)
+        total = len(specs)
+        if self.checkpoint is not None:
+            self.checkpoint.record_specs(specs)
+        results: List[Any] = [MISS] * total
+        pending: List[Tuple[int, Any, SpecOutcome]] = []
+        done = 0
+        for index, spec in enumerate(specs):
+            label, key = spec_ref(spec)
+            outcome = SpecOutcome(index=index, label=label, key=key)
+            self.outcomes.append(outcome)
+            hit = self.cache.get(spec) if self.cache is not None else MISS
+            if hit is not MISS:
+                results[index] = hit
+                outcome.status = "cached"
+                outcome.source = "cache"
+                if self.checkpoint is not None:
+                    self.checkpoint.mark_done(spec)
                 done += 1
-                self._notify(done, total, specs[index], cached=False)
-        except BrokenProcessPool:
-            self._pool_unavailable = True
-        if self._pool_unavailable:
-            self.close()
-            done = self._run_serial(specs, sorted(remaining), results, done, total)
-        return done
+                self._notify(done, total, spec, cached=True)
+            else:
+                pending.append((index, spec, outcome))
+        if not pending:
+            return results
+
+        use_pool = len(pending) > 1 and self.jobs > 1
+        supervisor = Supervisor(self, tasks=pending, results=results,
+                                done=done, total=total, use_pool=use_pool)
+        try:
+            supervisor.run()
+        except BaseException:
+            # Abort: the batch is over, nobody will collect the remaining
+            # futures, and workers may be wedged — kill, don't wait.
+            self._discard_executor(kill=True)
+            raise
+        return results
+
+    # ------------------------------------------------------------- journal
+    def journal(self) -> Dict[str, Any]:
+        """Structured supervision report across every batch this runner ran."""
+        return {
+            "journal_schema": 1,
+            "policy": asdict(self.policy),
+            "counters": self.counters.to_json(),
+            "specs": [outcome.to_json() for outcome in self.outcomes],
+        }

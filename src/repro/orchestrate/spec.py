@@ -79,6 +79,19 @@ def fingerprint_key(fingerprint: Mapping[str, Any]) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+def spec_ref(spec: Any) -> Tuple[str, Any]:
+    """``(label, cache key)`` identifying a spec in journals and manifests.
+
+    Works for any spec type, including foreign ones without ``label()`` or
+    ``cache_key()`` (the label falls back to the type name, the key to
+    ``None``) — supervision records must never fail on an exotic spec.
+    """
+    label = getattr(spec, "label", None)
+    key = getattr(spec, "cache_key", None)
+    return (label() if callable(label) else type(spec).__name__,
+            key() if callable(key) else None)
+
+
 @dataclass(frozen=True)
 class WorkloadSpec:
     """A workload identified by registry name plus constructor parameters.

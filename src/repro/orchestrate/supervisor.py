@@ -1,0 +1,481 @@
+"""Supervised execution of spec batches: timeouts, retries, pool rebuilds.
+
+This module is the fault-tolerance layer between
+:class:`~repro.orchestrate.parallel.ParallelRunner` and the process pool.
+The runner owns the *what* (specs, cache, progress, pool lifetime); the
+:class:`Supervisor` owns the *how* when things go wrong:
+
+* **per-spec wall-clock timeouts** — a hung worker cannot block the batch
+  forever; the overdue spec is charged a ``timeout`` attempt, the wedged
+  pool is killed and rebuilt, and the spec retries with backoff;
+* **bounded retries with exponential backoff + seeded jitter** — retryable
+  failures (:class:`~repro.orchestrate.faults.TransientError`, timeouts)
+  consume a per-spec budget of :attr:`RetryPolicy.max_attempts` charged
+  attempts; any other exception is permanent and propagates immediately,
+  exactly as it did before supervision existed;
+* **pool rebuilds after ``BrokenProcessPool``** — a worker death tears the
+  pool down, requeues every in-flight spec (uncharged: the victims are not
+  at fault), and rebuilds.  Teardowns are bounded by
+  :attr:`RetryPolicy.max_pool_rebuilds`; past the budget the batch degrades
+  to the serial tier, which always completes (no spec can be starved by
+  infrastructure failures);
+* **structured outcome records** — every attempt of every spec lands in a
+  :class:`SpecOutcome` (kind, duration, error), aggregated into
+  :class:`SupervisionCounters` and exposed through the runner's
+  ``--journal`` report and :class:`~repro.orchestrate.parallel.RunProgress`.
+
+Failure taxonomy: ``timeout`` and ``transient`` are *charged* to the spec's
+retry budget (the spec itself misbehaved); ``worker-lost`` is *uncharged*
+infrastructure failure bounded globally by the rebuild budget.  The serial
+tier retries transients with the same backoff but cannot enforce timeouts —
+there is no process boundary left to kill across.
+
+Determinism: backoff jitter comes from ``random.Random(policy.seed)``, so a
+supervised run's retry schedule is reproducible; spec results are
+deterministic regardless, which is what lets the fault-injection suite
+assert bit-identical results between faulty and fault-free sweeps.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import asdict, dataclass, field
+from random import Random
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.orchestrate.faults import FaultPlan, TransientError, execute_with_faults
+
+#: Attempt outcome tags (the ``ok`` tag marks the successful final attempt).
+OK = "ok"
+TIMEOUT = "timeout"
+WORKER_LOST = "worker-lost"
+TRANSIENT = "transient"
+ERROR = "error"
+
+
+class SpecTimeoutError(RuntimeError):
+    """A spec exceeded its wall-clock timeout on every allowed attempt."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the supervisor reacts to failures.
+
+    ``max_attempts`` bounds *charged* attempts per spec (timeouts and
+    transient errors); worker deaths are uncharged and bounded globally by
+    ``max_pool_rebuilds``.  ``timeout_s=None`` (the default) disables the
+    per-spec timeout, so a policy-free runner behaves exactly like the
+    pre-supervision runner on the happy path.
+    """
+
+    max_attempts: int = 3
+    timeout_s: Optional[float] = None
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+    max_pool_rebuilds: int = 8
+
+    def backoff_s(self, failures: int, rng: Random) -> float:
+        """Delay before the retry following charged failure ``failures`` (1-based).
+
+        Exponential in the failure count, capped at ``backoff_max_s``, with
+        ``jitter`` spreading the delay uniformly over ``base * (1 ± jitter)``
+        using the caller's seeded generator.
+        """
+        exponent = max(0, failures - 1)
+        base = min(self.backoff_max_s,
+                   self.backoff_base_s * self.backoff_factor ** exponent)
+        if self.jitter <= 0:
+            return base
+        spread = self.jitter * base
+        return max(0.0, base - spread + 2.0 * spread * rng.random())
+
+
+@dataclass
+class Attempt:
+    """One execution attempt of one spec."""
+
+    number: int            #: 0-based attempt index (matches fault keys)
+    outcome: str           #: ok | timeout | worker-lost | transient | error
+    duration_s: float
+    error: Optional[str] = None
+    charged: bool = True   #: counts against RetryPolicy.max_attempts
+
+    def to_json(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "number": self.number,
+            "outcome": self.outcome,
+            "duration_s": round(self.duration_s, 6),
+            "charged": self.charged,
+        }
+        if self.error is not None:
+            data["error"] = self.error
+        return data
+
+
+@dataclass
+class SpecOutcome:
+    """Per-spec supervision record: every attempt, plus the final status."""
+
+    index: int
+    label: str
+    key: Optional[str] = None
+    status: str = "pending"   #: cached | completed | failed | pending
+    source: str = "none"      #: cache | pool | serial | none
+    attempts: List[Attempt] = field(default_factory=list)
+
+    @property
+    def retries(self) -> int:
+        """Failed attempts of any kind (charged or collateral)."""
+        return sum(1 for attempt in self.attempts if attempt.outcome != OK)
+
+    @property
+    def charged_failures(self) -> int:
+        """Failed attempts that count against the retry budget."""
+        return sum(1 for attempt in self.attempts
+                   if attempt.charged and attempt.outcome != OK)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "label": self.label,
+            "key": self.key,
+            "status": self.status,
+            "source": self.source,
+            "retries": self.retries,
+            "attempts": [attempt.to_json() for attempt in self.attempts],
+        }
+
+
+@dataclass
+class SupervisionCounters:
+    """Aggregate supervision activity across a runner's lifetime.
+
+    All-zero on a fault-free run — asserted by the bench job so supervision
+    can never silently perturb the happy path.
+    """
+
+    retries: int = 0              #: charged retries scheduled (with backoff)
+    timeouts: int = 0             #: attempts that exceeded the spec timeout
+    worker_losses: int = 0        #: attempts lost to worker death (uncharged)
+    transient_errors: int = 0     #: TransientError attempts
+    pool_rebuilds: int = 0        #: pools torn down mid-batch and rebuilt
+    serial_degradations: int = 0  #: batches that fell back to the serial tier
+
+    def to_json(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    def any_activity(self) -> bool:
+        return any(asdict(self).values())
+
+
+class _Task:
+    """Mutable per-spec scheduling state inside one supervised batch."""
+
+    __slots__ = ("index", "spec", "outcome", "next_attempt", "eligible_at")
+
+    def __init__(self, index: int, spec: Any, outcome: SpecOutcome) -> None:
+        self.index = index
+        self.spec = spec
+        self.outcome = outcome
+        self.next_attempt = 0       #: attempt number the next execution uses
+        self.eligible_at = 0.0      #: monotonic time the task may resubmit
+
+
+def _pool_execute(payload):
+    """Module-level worker entry so payloads can cross process boundaries."""
+    spec, index, attempt, plan = payload
+    return execute_with_faults(spec, index, attempt, plan)
+
+
+def kill_executor(executor) -> None:
+    """Tear a pool down *now*: kill workers, then release the executor.
+
+    Used when workers may be hung or mid-crash — a graceful
+    ``shutdown(wait=True)`` would block on them forever.
+    """
+    processes = getattr(executor, "_processes", None)
+    for process in list((processes or {}).values()):
+        try:
+            process.kill()
+        except Exception:
+            pass
+    try:
+        executor.shutdown(wait=False, cancel_futures=True)
+    except TypeError:  # tolerate test doubles with a reduced signature
+        executor.shutdown(wait=False)
+
+
+class Supervisor:
+    """Drives one batch of cache-missed specs for a ``ParallelRunner``."""
+
+    def __init__(self, runner, tasks: List[Tuple[int, Any, SpecOutcome]],
+                 results: List[Any], done: int, total: int,
+                 use_pool: bool) -> None:
+        self.runner = runner
+        self.policy: RetryPolicy = runner.policy
+        self.counters: SupervisionCounters = runner.counters
+        self.plan: Optional[FaultPlan] = runner.faults
+        self.rng = Random(self.policy.seed)
+        self.results = results
+        self.done = done
+        self.total = total
+        self.use_pool = use_pool
+        self.jobs = max(1, getattr(runner, "jobs", 1))
+        self.ready: deque = deque(
+            _Task(index, spec, outcome) for index, spec, outcome in tasks
+        )
+        self.waiting: List[_Task] = []
+        #: future -> (task, attempt number, monotonic start time)
+        self.in_flight: Dict[Any, Tuple[_Task, int, float]] = {}
+        self.pool_teardowns = 0
+        self.degraded = False
+
+    # ---------------------------------------------------------------- api
+    def run(self) -> int:
+        """Execute every task to completion; returns the new done count."""
+        if self.use_pool:
+            self._run_pool()
+        self._run_serial()
+        return self.done
+
+    # ------------------------------------------------------------ helpers
+    def _executor(self):
+        """The pool to submit to, or ``None`` once degraded to serial."""
+        if self.pool_teardowns > self.policy.max_pool_rebuilds:
+            if not self.degraded:
+                self.degraded = True
+                self.counters.serial_degradations += 1
+                self.runner._pool_unavailable = True
+            return None
+        return self.runner._executor_or_none()
+
+    def _record(self, task: _Task, attempt: int, outcome: str,
+                duration: float, error: Optional[str] = None,
+                charged: bool = True) -> None:
+        task.outcome.attempts.append(Attempt(
+            number=attempt, outcome=outcome, duration_s=duration,
+            error=error, charged=charged,
+        ))
+        if outcome == WORKER_LOST:
+            self.counters.worker_losses += 1
+        elif outcome == TIMEOUT:
+            self.counters.timeouts += 1
+        elif outcome == TRANSIENT:
+            self.counters.transient_errors += 1
+
+    def _succeed(self, task: _Task, attempt: int, result,
+                 duration: float, source: str) -> None:
+        self._record(task, attempt, OK, duration)
+        task.outcome.status = "completed"
+        task.outcome.source = source
+        self.results[task.index] = self.runner._finish(
+            task.spec, result, task.outcome
+        )
+        self.done += 1
+        self.runner._notify(
+            self.done, self.total, task.spec, cached=False,
+            attempts=len(task.outcome.attempts),
+            outcome=task.outcome.status,
+        )
+
+    def _requeue(self, task: _Task, delay_s: float) -> None:
+        if delay_s > 0:
+            task.eligible_at = time.monotonic() + delay_s
+            self.waiting.append(task)
+        else:
+            task.eligible_at = 0.0
+            self.ready.append(task)
+
+    def _retry_or_raise(self, task: _Task, exc: BaseException) -> None:
+        """Schedule a backoff retry for a charged failure, or give up."""
+        failures = task.outcome.charged_failures
+        if failures >= self.policy.max_attempts:
+            task.outcome.status = "failed"
+            raise exc
+        self.counters.retries += 1
+        self._requeue(task, self.policy.backoff_s(failures, self.rng))
+
+    def _promote_waiting(self, now: float) -> None:
+        still_waiting = []
+        for task in self.waiting:
+            if task.eligible_at <= now:
+                self.ready.append(task)
+            else:
+                still_waiting.append(task)
+        self.waiting = still_waiting
+
+    def _pool_lost(self) -> None:
+        """The pool is broken or wedged: requeue survivors, kill, rebuild."""
+        now = time.monotonic()
+        for task, attempt, started in self.in_flight.values():
+            self._record(task, attempt, WORKER_LOST, now - started,
+                         error="worker pool torn down", charged=False)
+            self._requeue(task, 0.0)
+        self.in_flight.clear()
+        self.runner._discard_executor(kill=True)
+        self.pool_teardowns += 1
+        # Only count teardowns we will actually recover from with a fresh
+        # pool; the final teardown *is* the serial degradation.
+        if self.pool_teardowns <= self.policy.max_pool_rebuilds:
+            self.counters.pool_rebuilds += 1
+
+    def _check_timeouts(self) -> None:
+        if self.policy.timeout_s is None or not self.in_flight:
+            return
+        now = time.monotonic()
+        overdue = [
+            (future, task, attempt, started)
+            for future, (task, attempt, started) in self.in_flight.items()
+            if now - started >= self.policy.timeout_s
+        ]
+        if not overdue:
+            return
+        for future, task, attempt, started in overdue:
+            del self.in_flight[future]
+            self._record(
+                task, attempt, TIMEOUT, now - started,
+                error=f"exceeded the {self.policy.timeout_s:g}s "
+                      f"per-spec wall-clock timeout",
+            )
+            self._retry_or_raise(task, SpecTimeoutError(
+                f"spec {task.outcome.label!r} timed out on "
+                f"{task.outcome.charged_failures} attempts "
+                f"(timeout {self.policy.timeout_s:g}s)"
+            ))
+        # A hung worker can only be stopped by killing its process; the
+        # pool dies with it and the collateral in-flight specs requeue
+        # uncharged via _pool_lost.
+        self._pool_lost()
+
+    def _wait_timeout(self) -> Optional[float]:
+        """How long the next ``wait()`` may block before supervision acts."""
+        now = time.monotonic()
+        candidates = []
+        if self.policy.timeout_s is not None and self.in_flight:
+            soonest = min(
+                started for (_t, _a, started) in self.in_flight.values()
+            )
+            candidates.append(soonest + self.policy.timeout_s - now)
+        if self.waiting:
+            candidates.append(
+                min(task.eligible_at for task in self.waiting) - now
+            )
+        if not candidates:
+            return None
+        return max(0.0, min(candidates))
+
+    # ------------------------------------------------------------ pool tier
+    def _run_pool(self) -> None:
+        while self.ready or self.waiting or self.in_flight:
+            executor = self._executor()
+            if executor is None:
+                # Pool unavailable (never existed, or rebuild budget spent):
+                # the serial tier finishes whatever remains.
+                return
+            self._promote_waiting(time.monotonic())
+            broken = False
+            # Submit at most `jobs` specs at a time: a spec's timeout clock
+            # starts at submission, so letting specs queue inside the
+            # executor would charge them queue wait as execution time (and
+            # would widen the collateral damage of every pool teardown).
+            while self.ready and len(self.in_flight) < self.jobs:
+                task = self.ready.popleft()
+                attempt = task.next_attempt
+                payload = (task.spec, task.index, attempt, self.plan)
+                try:
+                    future = executor.submit(_pool_execute, payload)
+                except BrokenProcessPool:
+                    self.ready.appendleft(task)
+                    broken = True
+                    break
+                task.next_attempt = attempt + 1
+                self.in_flight[future] = (task, attempt, time.monotonic())
+            if broken:
+                self._pool_lost()
+                continue
+            if not self.in_flight:
+                # Everything is backing off; sleep until the earliest retry.
+                pause = min(task.eligible_at for task in self.waiting) \
+                    - time.monotonic()
+                if pause > 0:
+                    time.sleep(min(pause, 0.5))
+                continue
+            done_futures, _ = wait(set(self.in_flight),
+                                   timeout=self._wait_timeout(),
+                                   return_when=FIRST_COMPLETED)
+            for future in done_futures:
+                task, attempt, started = self.in_flight.pop(future)
+                duration = time.monotonic() - started
+                try:
+                    result = future.result()
+                except BrokenProcessPool:
+                    self._record(task, attempt, WORKER_LOST, duration,
+                                 error="worker process died", charged=False)
+                    self._requeue(task, 0.0)
+                    broken = True
+                except TransientError as exc:
+                    self._record(task, attempt, TRANSIENT, duration,
+                                 error=str(exc))
+                    self._retry_or_raise(task, exc)
+                except BaseException as exc:
+                    # Permanent failure: record it and propagate, exactly
+                    # like the pre-supervision runner (no inline re-run on
+                    # the supervisor thread, no retry).
+                    self._record(task, attempt, ERROR, duration,
+                                 error=f"{type(exc).__name__}: {exc}")
+                    task.outcome.status = "failed"
+                    raise
+                else:
+                    self._succeed(task, attempt, result, duration,
+                                  source="pool")
+            if broken:
+                self._pool_lost()
+                continue
+            self._check_timeouts()
+
+    # ---------------------------------------------------------- serial tier
+    def _run_serial(self) -> None:
+        """The final degradation tier: in-process, in index order.
+
+        Retries transient failures with the same backoff policy; cannot
+        enforce timeouts (there is no process boundary left to kill).
+        """
+        remaining = sorted(
+            list(self.ready) + self.waiting, key=lambda task: task.index
+        )
+        self.ready.clear()
+        self.waiting = []
+        for task in remaining:
+            while True:
+                attempt = task.next_attempt
+                task.next_attempt = attempt + 1
+                started = time.monotonic()
+                try:
+                    result = execute_with_faults(
+                        task.spec, task.index, attempt, self.plan
+                    )
+                except TransientError as exc:
+                    self._record(task, attempt, TRANSIENT,
+                                 time.monotonic() - started, error=str(exc))
+                    failures = task.outcome.charged_failures
+                    if failures >= self.policy.max_attempts:
+                        task.outcome.status = "failed"
+                        raise
+                    self.counters.retries += 1
+                    time.sleep(self.policy.backoff_s(failures, self.rng))
+                except BaseException as exc:
+                    self._record(task, attempt, ERROR,
+                                 time.monotonic() - started,
+                                 error=f"{type(exc).__name__}: {exc}")
+                    task.outcome.status = "failed"
+                    raise
+                else:
+                    self._succeed(task, attempt, result,
+                                  time.monotonic() - started, source="serial")
+                    break

@@ -58,10 +58,17 @@ def run_sweep(names: Sequence[str], scale: str = "small",
     """Run a subset of experiments; returns ``{figure id: ExperimentTable}``.
 
     Tables come back in the order the (expanded) names were given.  The same
-    ``runner`` — and therefore the same cache statistics and process pool
-    settings — is used for every experiment in the sweep.  ``config`` (e.g.
-    a :class:`~repro.system.config.SystemConfig` with ``DataPolicy.ELIDE``
-    for a timing-only sweep) is forwarded to every driver that accepts one.
+    ``runner`` — and therefore the same cache statistics, process pool,
+    retry policy, and (if attached) sweep manifest — is used for every
+    experiment in the sweep.  Fault tolerance rides on the runner: pass a
+    :class:`~repro.orchestrate.parallel.ParallelRunner` built with a
+    :class:`~repro.orchestrate.supervisor.RetryPolicy` and/or a
+    :class:`~repro.orchestrate.checkpoint.SweepManifest` to get supervised,
+    crash-resumable execution (the CLI's ``--spec-timeout``, ``--retries``,
+    ``--manifest`` and ``--resume`` flags do exactly that).  ``config``
+    (e.g. a :class:`~repro.system.config.SystemConfig` with
+    ``DataPolicy.ELIDE`` for a timing-only sweep) is forwarded to every
+    driver that accepts one.
     """
     from repro.analysis.experiments import run_experiment
     from repro.orchestrate.cache import MemoryCache

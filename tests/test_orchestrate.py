@@ -154,18 +154,41 @@ class TestResultCache:
         bumped = dataclasses.replace(spec, version="0.0.0-test")
         assert cache.get(bumped) is MISS
 
-    def test_corrupt_entry_is_a_miss(self, tmp_path):
+    def test_corrupt_entry_is_a_miss_and_quarantined(self, tmp_path):
         cache = ResultCache(tmp_path)
         spec = _tiny_spec()
         cache.put(spec, spec.execute())
         cache.path_for(spec).write_text("not json")
         assert cache.get(spec) is MISS
         assert cache.stats.errors == 1
+        # The damaged file was moved aside, not silently left in place.
+        assert cache.stats.corrupt == 1
+        assert not cache.path_for(spec).exists()
+        assert cache.corrupt_entries() == 1
+        assert "1 quarantined" in cache.stats.summary()
         cache.path_for(spec).write_text("[1, 2]")  # valid JSON, not an entry
         assert cache.get(spec) is MISS
         cache.path_for(spec).write_bytes(b"\xff\xfe")  # invalid UTF-8
         assert cache.get(spec) is MISS
-        assert cache.prune() == 1  # and prune removes it without crashing
+        assert cache.stats.corrupt == 3
+        assert cache.prune() == 1  # and prune removes the sidecar
+
+    def test_quarantined_entry_heals_on_next_store(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _tiny_spec()
+        result = spec.execute()
+        cache.put(spec, result)
+        # Truncate mid-file, as a crashed disk or the corrupt-cache fault
+        # would: the key quarantines, then the re-store heals it.
+        path = cache.path_for(spec)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        assert cache.get(spec) is MISS
+        assert cache.corrupt_entries() == 1
+        cache.put(spec, result)
+        assert cache.get(spec) == result
+        assert cache.corrupt_entries() == 1  # sidecar still there as evidence
+        assert cache.clear() == 2  # entry + sidecar
+        assert cache.corrupt_entries() == 0
 
     def test_clear_and_prune_sweep_orphaned_tmp_files(self, tmp_path):
         cache = ResultCache(tmp_path)

@@ -1,0 +1,410 @@
+"""Tests for supervised execution: retries, timeouts, faults, resume.
+
+The headline guarantees under test, matching ``docs/orchestration.md``:
+
+* a sweep with injected worker kills and hangs completes with results
+  bit-identical to a fault-free run;
+* a SIGKILLed supervisor leaves a resumable (cache, manifest) pair behind,
+  and ``repro sweep --resume`` re-runs only the incomplete points;
+* supervision never perturbs the happy path (all counters zero).
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+from random import Random
+
+import pytest
+
+import repro
+from repro.errors import ConfigurationError
+from repro.orchestrate.cache import MemoryCache, ResultCache
+from repro.orchestrate.checkpoint import ManifestError, SweepManifest
+from repro.orchestrate.faults import (
+    FaultPlan,
+    FaultSpec,
+    InjectedFaultError,
+    TransientError,
+)
+from repro.orchestrate.parallel import ParallelRunner
+from repro.orchestrate.spec import RunSpec, WorkloadSpec
+from repro.orchestrate.supervisor import RetryPolicy, SpecTimeoutError
+from repro.system.config import SystemKind
+
+
+def _specs(n=6, size0=16):
+    """n distinct tiny gemv RunSpecs (distinct sizes => distinct results)."""
+    return [RunSpec(workload=WorkloadSpec.create("gemv", size=size0 + i),
+                    kind=SystemKind.PACK)
+            for i in range(n)]
+
+
+def _result_dicts(specs, results):
+    return [spec.result_to_json(result)
+            for spec, result in zip(specs, results)]
+
+
+class TestRetryPolicy:
+    def test_backoff_is_exponential_and_capped(self):
+        policy = RetryPolicy(backoff_base_s=0.1, backoff_factor=2.0,
+                             backoff_max_s=0.5, jitter=0.0)
+        rng = Random(0)
+        delays = [policy.backoff_s(n, rng) for n in (1, 2, 3, 4, 5)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_is_seeded_and_bounded(self):
+        policy = RetryPolicy(backoff_base_s=0.2, jitter=0.25)
+        rng_a, rng_b = Random(7), Random(7)
+        a = [policy.backoff_s(1, rng_a) for _ in range(3)]
+        b = [policy.backoff_s(1, rng_b) for _ in range(3)]
+        assert a == b  # same seed, same schedule
+        assert all(0.15 <= delay <= 0.25 for delay in a)
+        assert len(set(a)) > 1  # jitter actually varies across draws
+
+
+class TestFaultPlan:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(kind="meteor-strike")
+
+    def test_matching_by_index_and_attempt(self):
+        fault = FaultSpec(kind="transient", index=2, attempt=1)
+        assert fault.matches(2, 1)
+        assert not fault.matches(2, 0)
+        assert not fault.matches(3, 1)
+        anyf = FaultSpec(kind="transient", index=None, attempt=None)
+        assert anyf.matches(0, 0) and anyf.matches(9, 9)
+
+    def test_json_round_trip(self, tmp_path):
+        plan = FaultPlan(faults=(FaultSpec(kind="kill", index=1, once=True),
+                                 FaultSpec(kind="hang", index=2, delay_s=9.0)),
+                         seed=42, state_dir=str(tmp_path))
+        again = FaultPlan.from_json(json.dumps(plan.to_json()))
+        assert again == plan
+
+    def test_from_env(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        assert FaultPlan.from_env() is None
+        plan = FaultPlan(faults=(FaultSpec(kind="transient", index=0),))
+        monkeypatch.setenv("REPRO_FAULTS", json.dumps(plan.to_json()))
+        assert FaultPlan.from_env() == plan
+
+    def test_random_plan_is_seeded_and_distinct(self, tmp_path):
+        a = FaultPlan.random(seed=3, num_specs=8, state_dir=str(tmp_path),
+                             kills=3, hangs=1)
+        b = FaultPlan.random(seed=3, num_specs=8, state_dir=str(tmp_path),
+                             kills=3, hangs=1)
+        assert a == b
+        indices = [fault.index for fault in a.faults]
+        assert len(set(indices)) == 4  # distinct victims
+        assert all(fault.once for fault in a.faults)
+        with pytest.raises(ConfigurationError):
+            FaultPlan.random(seed=0, num_specs=2, state_dir=str(tmp_path))
+
+    def test_once_fires_exactly_once(self, tmp_path):
+        plan = FaultPlan(faults=(FaultSpec(kind="transient", index=0,
+                                           once=True),),
+                         state_dir=str(tmp_path / "markers"))
+        with pytest.raises(TransientError):
+            plan.before_execute(0, 0)
+        plan.before_execute(0, 1)  # marker claimed: silent on any attempt
+        plan.before_execute(0, 0)
+
+    def test_once_requires_state_dir(self):
+        plan = FaultPlan(faults=(FaultSpec(kind="transient", index=0,
+                                           once=True),))
+        with pytest.raises(ConfigurationError):
+            plan.before_execute(0, 0)
+
+
+class TestChaos:
+    """The headline fault-injection guarantees."""
+
+    def test_kills_and_hang_bit_identical(self, tmp_path):
+        specs = _specs(6)
+        clean = _result_dicts(specs, ParallelRunner(jobs=1).run(specs))
+
+        state = tmp_path / "faults"
+        plan = FaultPlan(faults=(
+            FaultSpec(kind="kill", index=0, once=True),
+            FaultSpec(kind="kill", index=2, once=True),
+            FaultSpec(kind="kill", index=4, once=True),
+            FaultSpec(kind="hang", index=1, once=True, delay_s=60.0),
+        ), state_dir=str(state))
+        runner = ParallelRunner(jobs=2, faults=plan,
+                                policy=RetryPolicy(timeout_s=2.0))
+        with runner:
+            faulty = _result_dicts(specs, runner.run(specs))
+            assert faulty == clean  # bit-identical despite 3 kills + 1 hang
+            # every planned fault actually fired (exactly-once markers)
+            fired = sorted(p.name for p in state.iterdir())
+            assert fired == ["hang-1", "kill-0", "kill-2", "kill-4"]
+            assert runner.counters.worker_losses >= 3
+            assert runner.counters.pool_rebuilds >= 3
+            # no permanent serial latch: the pool survives for later batches
+            assert not runner._pool_unavailable
+            assert runner.counters.serial_degradations == 0
+            again = _result_dicts(specs, runner.run(specs))
+            assert again == clean
+
+    def test_hang_times_out_and_retries(self, tmp_path):
+        specs = _specs(4)
+        clean = _result_dicts(specs, ParallelRunner(jobs=1).run(specs))
+        plan = FaultPlan(faults=(FaultSpec(kind="hang", index=1, once=True,
+                                           delay_s=60.0),),
+                         state_dir=str(tmp_path / "faults"))
+        runner = ParallelRunner(jobs=2, faults=plan,
+                                policy=RetryPolicy(timeout_s=1.0))
+        with runner:
+            assert _result_dicts(specs, runner.run(specs)) == clean
+        assert runner.counters.timeouts == 1
+        assert runner.counters.retries == 1
+        hung = runner.outcomes[1]
+        assert [a.outcome for a in hung.attempts] == ["timeout", "ok"]
+        assert hung.attempts[0].charged
+
+    def test_timeout_budget_exhausts(self, tmp_path):
+        # A spec that hangs on *every* attempt fails with SpecTimeoutError
+        # once its charged budget is spent.
+        specs = _specs(3)
+        plan = FaultPlan(faults=(FaultSpec(kind="hang", index=0,
+                                           attempt=None, delay_s=60.0),))
+        runner = ParallelRunner(jobs=2, faults=plan,
+                                policy=RetryPolicy(timeout_s=0.5,
+                                                   max_attempts=2,
+                                                   backoff_base_s=0.01))
+        with pytest.raises(SpecTimeoutError):
+            runner.run(specs)
+        assert runner.counters.timeouts == 2
+        assert runner.outcomes[0].status == "failed"
+        assert runner._executor is None  # aborted pool was torn down
+
+    def test_transient_retries_on_serial_path(self):
+        specs = _specs(1)
+        plan = FaultPlan(faults=(FaultSpec(kind="transient", index=0,
+                                           attempt=0),))
+        runner = ParallelRunner(jobs=1, faults=plan,
+                                policy=RetryPolicy(backoff_base_s=0.01))
+        results = runner.run(specs)
+        assert _result_dicts(specs, results) == \
+            _result_dicts(specs, ParallelRunner(jobs=1).run(specs))
+        assert runner.counters.transient_errors == 1
+        assert runner.counters.retries == 1
+        assert [a.outcome for a in runner.outcomes[0].attempts] == \
+            ["transient", "ok"]
+
+    def test_transient_budget_exhausts(self):
+        specs = _specs(1)
+        plan = FaultPlan(faults=(FaultSpec(kind="transient", index=0,
+                                           attempt=None),))
+        runner = ParallelRunner(jobs=1, faults=plan,
+                                policy=RetryPolicy(max_attempts=2,
+                                                   backoff_base_s=0.01))
+        with pytest.raises(TransientError):
+            runner.run(specs)
+        assert runner.counters.transient_errors == 2
+        assert runner.outcomes[0].status == "failed"
+
+    def test_permanent_error_propagates(self, tmp_path):
+        specs = _specs(3)
+        plan = FaultPlan(faults=(FaultSpec(kind="error", index=1,
+                                           once=True),),
+                         state_dir=str(tmp_path / "faults"))
+        runner = ParallelRunner(jobs=2, faults=plan)
+        with pytest.raises(InjectedFaultError):
+            runner.run(specs)
+        assert runner.counters.retries == 0  # permanent: never retried
+        assert runner._executor is None
+
+    def test_rebuild_budget_degrades_to_serial(self, tmp_path):
+        specs = _specs(4)
+        clean = _result_dicts(specs, ParallelRunner(jobs=1).run(specs))
+        plan = FaultPlan(faults=(FaultSpec(kind="kill", index=0, once=True),),
+                         state_dir=str(tmp_path / "faults"))
+        runner = ParallelRunner(jobs=2, faults=plan,
+                                policy=RetryPolicy(max_pool_rebuilds=0))
+        assert _result_dicts(specs, runner.run(specs)) == clean
+        assert runner.counters.serial_degradations == 1
+        assert runner._pool_unavailable
+
+    def test_corrupt_cache_fault_quarantines(self, tmp_path):
+        specs = _specs(2)
+        cache = ResultCache(tmp_path / "cache")
+        plan = FaultPlan(faults=(FaultSpec(kind="corrupt-cache", index=0),))
+        ParallelRunner(jobs=1, cache=cache, faults=plan).run(specs)
+        # The corrupted entry surfaces on the next read: quarantined, counted.
+        fresh = ResultCache(tmp_path / "cache")
+        results = ParallelRunner(jobs=1, cache=fresh).run(specs)
+        assert _result_dicts(specs, results) == \
+            _result_dicts(specs, ParallelRunner(jobs=1).run(specs))
+        assert fresh.stats.corrupt == 1
+        assert fresh.corrupt_entries() == 1
+        assert fresh.stats.hits == 1 and fresh.stats.stores == 1
+
+    def test_happy_path_counters_stay_zero(self):
+        runner = ParallelRunner(jobs=2, cache=MemoryCache(),
+                                policy=RetryPolicy(timeout_s=120.0))
+        with runner:
+            runner.run(_specs(4))
+        assert not runner.counters.any_activity()
+        journal = runner.journal()
+        assert journal["counters"]["retries"] == 0
+        assert all(len(spec["attempts"]) == 1 for spec in journal["specs"])
+        assert {spec["status"] for spec in journal["specs"]} == {"completed"}
+
+
+class TestJournal:
+    def test_journal_records_attempts_and_sources(self, tmp_path):
+        specs = _specs(2)
+        cache = MemoryCache()
+        runner = ParallelRunner(jobs=1, cache=cache)
+        runner.run(specs)
+        runner.run(specs)  # second batch: all cached
+        journal = runner.journal()
+        assert journal["journal_schema"] == 1
+        assert journal["policy"]["max_attempts"] == 3
+        statuses = [spec["status"] for spec in journal["specs"]]
+        assert statuses == ["completed", "completed", "cached", "cached"]
+        first = journal["specs"][0]
+        assert first["label"] == specs[0].label()
+        assert first["key"] == specs[0].cache_key()
+        assert first["attempts"][0]["outcome"] == "ok"
+        assert first["attempts"][0]["duration_s"] >= 0
+
+
+class TestManifest:
+    def test_create_record_mark_done(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        specs = _specs(3)
+        manifest = SweepManifest.create(path, request={"experiments": ["x"]})
+        manifest.record_specs(specs)
+        assert manifest.total_count() == 3
+        assert manifest.pending_count() == 3
+        manifest.mark_done(specs[0])
+        manifest.mark_done(specs[0])  # idempotent
+        again = SweepManifest.load(path)
+        assert again.done_count() == 1
+        assert again.pending_count() == 2
+        assert again.request == {"experiments": ["x"]}
+        assert "1/3 specs done" in again.summary()
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        SweepManifest.create(path).record_specs(_specs(1))
+        data = json.loads(path.read_text())
+        data["version"] = "0.0.0-elsewhere"
+        path.write_text(json.dumps(data))
+        with pytest.raises(ManifestError, match="recorded by package version"):
+            SweepManifest.load(path)
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        SweepManifest.create(path)
+        data = json.loads(path.read_text())
+        data["manifest_schema"] = 999
+        path.write_text(json.dumps(data))
+        with pytest.raises(ManifestError, match="schema"):
+            SweepManifest.load(path)
+
+    def test_torn_file_rejected(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        path.write_text('{"manifest_schema": 1, "specs"')
+        with pytest.raises(ManifestError, match="unreadable"):
+            SweepManifest.load(path)
+
+    def test_changed_fingerprint_rejected(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        spec = _specs(1)[0]
+        SweepManifest.create(path).record_specs([spec])
+        data = json.loads(path.read_text())
+        key = next(iter(data["specs"]))
+        data["specs"][key]["fingerprint"]["workload"]["params"] = {"size": 99}
+        path.write_text(json.dumps(data))
+        manifest = SweepManifest.load(path)
+        with pytest.raises(ManifestError, match="different\\s+fingerprint"):
+            manifest.record_specs([spec])
+
+
+class TestInterruption:
+    def test_keyboard_interrupt_leaves_resumable_state(self, tmp_path):
+        # Ctrl-C after the first completed spec: the pool is torn down, the
+        # partial results are cached, and the manifest resumes the rest.
+        specs = _specs(4)
+        cache = ResultCache(tmp_path / "cache")
+        manifest = SweepManifest.create(tmp_path / "manifest.json")
+
+        def interrupt(event):
+            if not event.cached:
+                raise KeyboardInterrupt
+
+        runner = ParallelRunner(jobs=2, cache=cache, progress=interrupt,
+                                checkpoint=manifest)
+        with pytest.raises(KeyboardInterrupt):
+            runner.run(specs)
+        assert runner._executor is None  # pool shut down cleanly
+        stored = len(cache)
+        assert 1 <= stored < len(specs)  # partial progress survived
+        resumed = SweepManifest.load(tmp_path / "manifest.json")
+        assert resumed.done_count() == stored
+        assert resumed.pending_count() == len(specs) - stored
+
+        fresh_cache = ResultCache(tmp_path / "cache")
+        resumer = ParallelRunner(jobs=1, cache=fresh_cache, checkpoint=resumed)
+        results = resumer.run(specs)
+        assert _result_dicts(specs, results) == \
+            _result_dicts(specs, ParallelRunner(jobs=1).run(specs))
+        assert fresh_cache.stats.hits == stored  # only the rest re-ran
+        assert fresh_cache.stats.stores == len(specs) - stored
+        assert resumed.pending_count() == 0
+
+
+class TestSigkillResume:
+    """Acceptance: SIGKILL the supervisor, resume re-runs only the rest."""
+
+    def _cli(self, args, tmp_path, env_extra=None):
+        env = dict(os.environ)
+        src = str(Path(repro.__file__).resolve().parents[1])
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        env.pop("REPRO_FAULTS", None)
+        env.update(env_extra or {})
+        return subprocess.run(
+            [sys.executable, "-m", "repro.cli"] + args,
+            capture_output=True, text=True, env=env, cwd=str(tmp_path),
+            timeout=600,
+        )
+
+    def test_sigkilled_sweep_resumes_incomplete_points_only(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        manifest = tmp_path / "manifest.json"
+        plan = {"faults": [{"kind": "kill-supervisor", "after_results": 3}]}
+        crashed = self._cli(
+            ["sweep", "fig3b", "--scale", "tiny", "--jobs", "1",
+             "--cache-dir", str(cache_dir), "--manifest", str(manifest)],
+            tmp_path, env_extra={"REPRO_FAULTS": json.dumps(plan)},
+        )
+        assert crashed.returncode == -signal.SIGKILL
+        assert len(list(cache_dir.glob("*.json"))) == 3
+        state = SweepManifest.load(manifest)
+        assert state.done_count() == 3
+        assert state.pending_count() == 3
+
+        resumed = self._cli(["sweep", "--resume", str(manifest), "--json"],
+                            tmp_path)
+        assert resumed.returncode == 0, resumed.stderr
+        summary = json.loads(resumed.stdout)
+        assert summary["cache"]["hits"] == 3      # completed points reused
+        assert summary["cache"]["stores"] == 3    # only the rest re-ran
+        assert summary["manifest"]["pending"] == 0
+        assert len(list(cache_dir.glob("*.json"))) == 6
+
+    def test_resume_rejects_extra_experiments(self, tmp_path):
+        manifest = tmp_path / "manifest.json"
+        SweepManifest.create(manifest, request={"experiments": ["fig3b"],
+                                                "scale": "tiny"})
+        result = self._cli(["sweep", "fig3a", "--resume", str(manifest)],
+                           tmp_path)
+        assert result.returncode == 2
+        assert "recorded experiment list" in result.stderr
