@@ -68,6 +68,17 @@ class AddressMap:
                 return region.target
         raise ProtocolError(f"address {addr:#x} decodes to no target (DECERR)")
 
+    def try_route(self, addr: int) -> int:
+        """Like :meth:`route`, but return ``-1`` for an unmapped address.
+
+        The cycle-level demux uses this to answer unmapped bursts with
+        in-band ``DECERR`` responses instead of aborting the simulation.
+        """
+        for region in self.regions:
+            if region.contains(addr):
+                return region.target
+        return -1
+
     @property
     def num_targets(self) -> int:
         """Number of distinct targets in the map."""
@@ -114,6 +125,12 @@ class InterleavedAddressMap:
             raise ProtocolError(
                 f"address {addr:#x} decodes to no target (DECERR)"
             )
+        return (addr >> self._stripe_shift) % self.num_targets
+
+    def try_route(self, addr: int) -> int:
+        """Like :meth:`route`, but return ``-1`` for an out-of-range address."""
+        if not 0 <= addr < self.size_bytes:
+            return -1
         return (addr >> self._stripe_shift) % self.num_targets
 
 

@@ -33,9 +33,12 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
+from repro.axi.faults import BusFaultPlan
 from repro.axi.interconnect import AddressMap
 from repro.axi.port import AxiPort
+from repro.axi.signals import BBeat, RBeat
 from repro.axi.transaction import BusRequest
+from repro.axi.types import Resp
 from repro.errors import ConfigurationError, ProtocolError
 from repro.sim.component import IDLE, Component, WakeHint
 from repro.sim.queue import DecoupledQueue
@@ -283,6 +286,16 @@ class CycleAxiDemux(Component):
     ``check_straddle=False`` disables the burst-straddle protocol check for
     interleaved maps, where routing deliberately uses only the start address
     (stripe-ownership semantics — see ``InterleavedAddressMap``).
+
+    **Decode errors.**  A burst whose address decodes to no target — or
+    which straddles two targets while ``check_straddle`` is on, or which an
+    injected :class:`~repro.axi.faults.BusFaultSpec` (kind ``slverr`` /
+    ``decerr``) marks as faulted — is answered *in band*, per the AXI spec:
+    an AR yields the full burst length as phantom R beats (``useful_bytes=0``,
+    error ``resp``); an AW has all its W beats consumed and discarded, then
+    answers an error B.  Error beats share the single return bus with routed
+    traffic (at most one R and one B per cycle total) and the simulation
+    continues — the requestor sees the error response and decides.
     """
 
     def __init__(
@@ -293,6 +306,7 @@ class CycleAxiDemux(Component):
         address_map: AddressMap,
         stats: Optional[StatsRegistry] = None,
         check_straddle: bool = True,
+        bus_faults: Optional[BusFaultPlan] = None,
     ) -> None:
         super().__init__(name)
         if not downstreams:
@@ -315,20 +329,36 @@ class CycleAxiDemux(Component):
         self.address_map = address_map
         self.check_straddle = check_straddle
         self.stats = stats if stats is not None else StatsRegistry()
-        #: accepted writes still owed W beats: (target index, beats left)
+        self._fault_plan = (
+            bus_faults if bus_faults is not None
+            and bus_faults.touches_port(name) else None
+        )
+        #: accepted writes still owed W beats: (target index, beats left);
+        #: target ``-1`` marks an error burst whose beats are discarded
         self._w_order: Deque[Tuple[int, int]] = deque()
         self._r_rr = 0
         self._b_rr = 0
         self.routed_counts = [0] * len(self.downstreams)
+        #: outstanding error reads: [txn_id, beats left, resp]
+        self._error_r: Deque[List] = deque()
+        #: error writes whose W beats are still draining, acceptance order
+        self._error_b_pending: Deque[Tuple[int, Resp]] = deque()
+        #: error writes ready to answer: (txn_id, resp)
+        self._error_b: Deque[Tuple[int, Resp]] = deque()
+        self._c_error_bursts = self.stats.counter("demux.error_bursts")
 
     # ------------------------------------------------------------------ tick
     def tick(self, cycle: int) -> WakeHint:
-        self._merge_return(
+        pushed = self._merge_return(
             [port.r for port in self.downstreams], self.upstream.r, "r"
         )
-        self._merge_return(
+        if not pushed and self._error_r:
+            self._emit_error_r()
+        pushed = self._merge_return(
             [port.b for port in self.downstreams], self.upstream.b, "b"
         )
+        if not pushed and self._error_b:
+            self._emit_error_b()
         self._forward_request(self.upstream.ar, is_write=False)
         self._forward_request(self.upstream.aw, is_write=True)
         if self._w_order:
@@ -342,15 +372,39 @@ class CycleAxiDemux(Component):
         return queues
 
     def busy(self) -> bool:
-        return bool(self._w_order)
+        return bool(
+            self._w_order or self._error_r or self._error_b
+            or self._error_b_pending
+        )
 
     def reset(self) -> None:
         self._w_order.clear()
         self._r_rr = 0
         self._b_rr = 0
         self.routed_counts = [0] * len(self.downstreams)
+        self._error_r.clear()
+        self._error_b_pending.clear()
+        self._error_b.clear()
 
     # ------------------------------------------------------------ forwarding
+    def _error_resp(self, request: BusRequest) -> Optional[Resp]:
+        """The in-band error response this burst must receive, if any."""
+        plan = self._fault_plan
+        if plan is not None:
+            fault = plan.first_match(self.name, request.txn_id, request.addr)
+            if fault is not None and fault.kind in ("slverr", "decerr"):
+                return fault.resp
+        target = self.address_map.try_route(request.addr)
+        if target < 0:
+            return Resp.DECERR
+        if self.check_straddle and request.contiguous and not request.is_packed:
+            last = request.addr + request.payload_bytes - 1
+            if self.address_map.try_route(last) != target:
+                # A contiguous burst straddling two targets cannot be served
+                # by either: the decode is ill-formed, answered as DECERR.
+                return Resp.DECERR
+        return None
+
     def _route_target(self, request: BusRequest) -> int:
         target = self.address_map.route(request.addr)
         if self.check_straddle and request.contiguous and not request.is_packed:
@@ -366,6 +420,19 @@ class CycleAxiDemux(Component):
         if not source._storage:
             return
         request: BusRequest = source._storage[0]
+        resp = self._error_resp(request)
+        if resp is not None:
+            # Error burst: accepted unconditionally (its beats go nowhere, so
+            # no downstream queue or AW gate constrains it) and answered in
+            # band with phantom beats of the correct burst length.
+            source.pop()
+            self._c_error_bursts.value += 1
+            if is_write:
+                self._w_order.append((-1, request.num_beats))
+                self._error_b_pending.append((request.txn_id, resp))
+            else:
+                self._error_r.append([request.txn_id, request.num_beats, resp])
+            return
         target = self._route_target(request)
         if is_write and self._w_order and self._w_order[0][0] != target:
             # Same-target AW gate (see the class docstring): hold this AW
@@ -386,6 +453,16 @@ class CycleAxiDemux(Component):
         if not source._storage:
             return
         target, beats_left = self._w_order[0]
+        if target < 0:
+            # Error burst: consume and discard the W beat; once the burst's
+            # data has fully drained its error B becomes ready.
+            source.pop()
+            if beats_left == 1:
+                self._w_order.popleft()
+                self._error_b.append(self._error_b_pending.popleft())
+            else:
+                self._w_order[0] = (target, beats_left - 1)
+            return
         sink = self.downstreams[target].w
         if sink._count >= sink.depth:
             return
@@ -397,9 +474,9 @@ class CycleAxiDemux(Component):
 
     # -------------------------------------------------------------- returns
     def _merge_return(self, sources: List[DecoupledQueue],
-                      sink: DecoupledQueue, channel: str) -> None:
+                      sink: DecoupledQueue, channel: str) -> bool:
         if sink._count >= sink.depth:
-            return
+            return True  # back-pressured: the error path must not push either
         count = len(sources)
         rr = self._r_rr if channel == "r" else self._b_rr
         for offset in range(count):
@@ -412,4 +489,34 @@ class CycleAxiDemux(Component):
                     self._r_rr = (index + 1) % count
                 else:
                     self._b_rr = (index + 1) % count
-                return
+                return True
+        return False
+
+    def _emit_error_r(self) -> None:
+        """Emit one phantom R beat of the oldest error read burst."""
+        sink = self.upstream.r
+        if sink._count >= sink.depth:
+            return
+        entry = self._error_r[0]
+        txn_id, beats_left, resp = entry
+        sink.push(
+            RBeat(
+                txn_id=txn_id,
+                data=b"",
+                useful_bytes=0,
+                last=beats_left == 1,
+                resp=resp,
+            )
+        )
+        if beats_left == 1:
+            self._error_r.popleft()
+        else:
+            entry[1] = beats_left - 1
+
+    def _emit_error_b(self) -> None:
+        """Answer the oldest fully drained error write burst."""
+        sink = self.upstream.b
+        if sink._count >= sink.depth:
+            return
+        txn_id, resp = self._error_b.popleft()
+        sink.push(BBeat(txn_id=txn_id, resp=resp))

@@ -31,12 +31,33 @@ class BurstType(enum.Enum):
 
 
 class Resp(enum.Enum):
-    """AXI4 response codes carried on R and B channels."""
+    """AXI4 response codes carried on R and B channels.
+
+    The enum value doubles as the severity used by :func:`worst_resp`:
+    ``OKAY < EXOKAY < SLVERR < DECERR``.  (EXOKAY outranking OKAY matches
+    the merge rule AXI interconnects use when collapsing split responses —
+    an exclusive-okay is the more specific answer, an error beats both.)
+    """
 
     OKAY = 0
     EXOKAY = 1
     SLVERR = 2
     DECERR = 3
+
+    @property
+    def is_error(self) -> bool:
+        """True for the two error responses (SLVERR, DECERR)."""
+        return self.value >= Resp.SLVERR.value
+
+
+def worst_resp(a: Resp, b: Resp) -> Resp:
+    """Merge two response codes, keeping the more severe one.
+
+    This is the per-burst merge rule used everywhere a response is built
+    from several sub-accesses (word slots of a beat, beats of a burst):
+    the burst's response is the worst response of any of its parts.
+    """
+    return a if a.value >= b.value else b
 
 
 def bytes_to_axsize(num_bytes: int) -> int:

@@ -117,6 +117,16 @@ def _add_orchestration_options(parser: argparse.ArgumentParser,
     parser.set_defaults(cache_default=cache_default)
 
 
+def _add_bus_fault_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--inject-bus-fault", metavar="JSON", default=None,
+        help="inject deterministic bus faults from a JSON plan, e.g. "
+             "'{\"faults\": [{\"kind\": \"slverr\", \"addr_lo\": 4096, "
+             "\"addr_hi\": 8192}]}'; kinds: slverr, decerr, stall, lost "
+             "(see repro.axi.faults).  Faulted runs abort with a structured "
+             "fault report instead of verifying")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="axi-pack-repro",
@@ -132,6 +142,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--scale", choices=sorted(SCALES), default="small",
                             help="problem size for simulation-based experiments")
     run_parser.add_argument("--csv", help="also write the table to a CSV file")
+    _add_bus_fault_option(run_parser)
     _add_orchestration_options(run_parser, cache_default=False)
 
     sweep_parser = subparsers.add_parser(
@@ -175,6 +186,7 @@ def _build_parser() -> argparse.ArgumentParser:
                                 "(default: the full registry — paper-figure "
                                 "workloads first, then the extras the figure "
                                 "grids exclude)")
+    _add_bus_fault_option(wl_parser)
     _add_orchestration_options(wl_parser, cache_default=False)
 
     pareto_parser = subparsers.add_parser(
@@ -282,7 +294,24 @@ def _system_config(args: argparse.Namespace) -> SystemConfig:
         kwargs["num_channels"] = args.channels
     if getattr(args, "arbitration", "rr") != "rr":
         kwargs["arbitration"] = args.arbitration
+    plan = getattr(args, "inject_bus_fault", None)
+    if plan:
+        from repro.axi.faults import BusFaultPlan
+
+        kwargs["bus_faults"] = BusFaultPlan.from_json(plan)
     return SystemConfig(**kwargs)
+
+
+def _render_fault_report(result, indent: str = "    ") -> None:
+    """Print one run's structured bus-fault report, one line per fault."""
+    if not getattr(result, "fault_report", None):
+        return
+    kind = result.kind.value if hasattr(result.kind, "value") else result.kind
+    for fault in result.fault_report["faults"]:
+        print(f"{indent}{kind}: bus fault: {fault['kind']} op "
+              f"{fault['op_index']} @ {fault['addr']:#x} -> {fault['resp']} "
+              f"(engine {fault['engine']}, cycle {fault['cycle']}); "
+              f"run aborted")
 
 
 def _retry_policy(args: argparse.Namespace) -> RetryPolicy:
@@ -339,9 +368,15 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    config = _system_config(args)
+    if config.bus_faults is not None:
+        print(f"note: bus-fault injection active "
+              f"({len(config.bus_faults.faults)} spec(s), watchdog "
+              f"{config.bus_faults.watchdog_cycles} cycles) — runs hit by a "
+              f"fault abort gracefully and report verified=False")
     with _make_runner(args) as runner:
         table = run_experiment(args.experiment, scale=args.scale, runner=runner,
-                               config=_system_config(args))
+                               config=config)
         print(table.render())
         if args.csv:
             write_csv(table, args.csv)
@@ -505,6 +540,11 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
         return 2
     config = _system_config(args)
     policy_note = " [timing-only]" if config.elides_data else ""
+    if config.bus_faults is not None:
+        policy_note += (
+            f" [bus-fault injection: {len(config.bus_faults.faults)} spec(s), "
+            f"watchdog {config.bus_faults.watchdog_cycles} cycles]"
+        )
     engine_note = f", {config.num_engines} engines" if config.num_engines > 1 else ""
     if config.num_channels > 1:
         engine_note += f", {config.num_channels} channels"
@@ -529,6 +569,8 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
                   f"{comparison.base.r_utilization:5.1%} / "
                   f"{comparison.pack.r_utilization:5.1%} / "
                   f"{comparison.ideal.r_utilization:5.1%}")
+            for result in (comparison.base, comparison.pack, comparison.ideal):
+                _render_fault_report(result)
         _report_cache(runner)
         _write_journal(runner, args.journal)
     return 0
@@ -699,24 +741,39 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
+    from repro.errors import ConfigurationError, DeadlockError
+
     parser = _build_parser()
     args = parser.parse_args(argv)
-    if args.command == "list":
-        return _cmd_list()
-    if args.command == "run":
-        return _cmd_run(args)
-    if args.command == "sweep":
-        return _cmd_sweep(args)
-    if args.command == "workloads":
-        return _cmd_workloads(args)
-    if args.command == "pareto":
-        return _cmd_pareto(args)
-    if args.command == "profile":
-        return _cmd_profile(args)
-    if args.command == "cache":
-        return _cmd_cache(args)
-    if args.command == "fuzz":
-        return _cmd_fuzz(args)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
+        if args.command == "workloads":
+            return _cmd_workloads(args)
+        if args.command == "pareto":
+            return _cmd_pareto(args)
+        if args.command == "profile":
+            return _cmd_profile(args)
+        if args.command == "cache":
+            return _cmd_cache(args)
+        if args.command == "fuzz":
+            return _cmd_fuzz(args)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except DeadlockError as exc:
+        # The diagnosis names the stuck components/queues and blames the
+        # fullest undrained queue — render it instead of a bare traceback.
+        print("error: simulation deadlocked", file=sys.stderr)
+        if exc.diagnosis is not None:
+            print(exc.diagnosis.render(), file=sys.stderr)
+        else:
+            print(str(exc), file=sys.stderr)
+        return 3
     parser.print_help()
     return 1
 

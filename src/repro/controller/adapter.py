@@ -24,6 +24,7 @@ from typing import Deque, List, Optional, Set, Tuple
 from repro.axi.monitor import ChannelMonitor
 from repro.axi.port import AxiPort
 from repro.axi.transaction import BusRequest
+from repro.axi.types import Resp
 from repro.controller.base_converter import BaseAxi4Converter
 from repro.controller.context import AdapterConfig, AdapterContext
 from repro.controller.converter import Converter
@@ -37,6 +38,9 @@ from repro.sim.component import IDLE, Component, WakeHint
 from repro.sim.datapath import DatapathMode
 from repro.sim.policy import DataPolicy
 from repro.sim.stats import StatsRegistry
+
+#: Prebound: compared per word response on the hottest routing path.
+_RESP_OKAY = Resp.OKAY
 
 
 class AxiPackAdapter(Component):
@@ -253,10 +257,17 @@ class AxiPackAdapter(Component):
                     engine._touched_queues.append(queue)
             response = storage.popleft()
             pipe, state, slot = response.tag
-            if response.is_write:
-                pipe.take_ack(state, slot)
+            if response.resp is _RESP_OKAY:
+                if response.is_write:
+                    pipe.take_ack(state, slot)
+                else:
+                    pipe.take_response(state, slot, response.data)
+            elif response.is_write:
+                # Errored word access: the payload (if any) is invalid; the
+                # beat is poisoned instead of filled.
+                pipe.take_error_ack(state, slot, response.resp)
             else:
-                pipe.take_response(state, slot, response.data)
+                pipe.take_error_response(state, slot, response.resp)
             outstanding -= 1
         self._outstanding_words = outstanding
 

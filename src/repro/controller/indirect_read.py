@@ -24,6 +24,7 @@ import numpy as np
 from repro.axi.pack import PackMode
 from repro.axi.signals import RBeat
 from repro.axi.transaction import BusRequest
+from repro.axi.types import Resp
 from repro.controller.context import AdapterContext
 from repro.controller.converter import Converter
 from repro.controller.lanes import (
@@ -38,59 +39,82 @@ from repro.mem.words import WordRequest
 
 _INDEX_DTYPES = {1: np.uint8, 2: np.uint16, 4: np.uint32, 8: np.uint64}
 
+#: Prebound: compared once per completed index line.
+_RESP_OKAY = Resp.OKAY
+
 
 def read_index_oracle(ctx: AdapterContext, request: BusRequest) -> np.ndarray:
-    """Resolve a burst's index values functionally (``DataPolicy.ELIDE``).
+    """Resolve a burst's index values functionally.
 
     Under ELIDE the index fetch beats carry no bytes, but the index *values*
     still determine the element addresses — and therefore the bank conflicts
     and cycle count.  They are read once from the backing storage the
     workload initialized; the per-line fetch timing is still simulated by
     the index pipe, values are just consumed from this oracle instead of the
-    returned line payloads.
+    returned line payloads.  FULL mode falls back to the oracle for
+    *poisoned* index lines, so both policies resolve identical element
+    addresses under faults.
+
+    Index elements that fall outside the storage resolve to zero — the bus
+    reports the error in band (the fetch words answer ``SLVERR``), so the
+    oracle must yield deterministic values instead of raising.
     """
     if ctx.storage is None:
         raise SimulationError(
             "DataPolicy.ELIDE needs the adapter context to carry the backing "
             "storage to resolve indirect-burst indices"
         )
-    dtype = _INDEX_DTYPES[request.pack.index_bytes]
-    return ctx.storage.read_array(request.index_base, request.num_elements, dtype)
+    index_bytes = request.pack.index_bytes
+    dtype = _INDEX_DTYPES[index_bytes]
+    num = request.num_elements
+    base = request.index_base
+    size = ctx.storage.size_bytes
+    if 0 <= base and base + num * index_bytes <= size:
+        return ctx.storage.read_array(base, num, dtype)
+    values = np.zeros(num, dtype=dtype)
+    if 0 <= base < size:
+        avail = min(num, (size - base) // index_bytes)
+        if avail > 0:
+            values[:avail] = ctx.storage.read_array(base, avail, dtype)
+    return values
 
 
 def index_line_values(active, plan, data, request: BusRequest,
-                      elide: bool) -> np.ndarray:
+                      elide: bool, resp: Resp = _RESP_OKAY) -> np.ndarray:
     """The index values carried by one completed index-fetch line.
 
     In FULL mode they are decoded from the line's payload bytes; under
-    ``DataPolicy.ELIDE`` the line is empty and the next
-    ``useful_bytes // index_bytes`` values are consumed from the burst's
-    oracle (see :func:`read_index_oracle`).  Shared by the indirect read and
-    write converters so the two stay in lock-step.
+    ``DataPolicy.ELIDE`` — and for *poisoned* lines in FULL mode, whose
+    payload bytes are invalid — the next ``useful_bytes // index_bytes``
+    values are consumed from the burst's oracle (see
+    :func:`read_index_oracle`).  ``oracle_pos`` advances for every line in
+    both policies so a mid-burst fault slices the oracle at the right
+    position.  Shared by the indirect read and write converters so the two
+    stay in lock-step.
     """
-    if elide:
-        count = plan.useful_bytes // request.pack.index_bytes
-        values = active.index_oracle[active.oracle_pos : active.oracle_pos + count]
-        active.oracle_pos += count
-        return values
+    count = plan.useful_bytes // request.pack.index_bytes
+    pos = active.oracle_pos
+    active.oracle_pos = pos + count
+    if elide or resp is not _RESP_OKAY:
+        return active.index_oracle[pos : pos + count]
     dtype = _INDEX_DTYPES[request.pack.index_bytes]
     return np.frombuffer(data, dtype=dtype)
 
 
 def index_line_values_batch(active, useful_bytes: int, data, request: BusRequest,
-                            elide: bool) -> list:
+                            elide: bool, resp: Resp = _RESP_OKAY) -> list:
     """Batch-datapath twin of :func:`index_line_values`: plain int list.
 
     The lane pipes report a completed line as ``(useful_bytes, data,
-    request)`` rather than a plan object; the decoded values are returned as
-    a Python list so the element planner slices them without per-element
-    ``int()`` boxing.
+    request, resp)`` rather than a plan object; the decoded values are
+    returned as a Python list so the element planner slices them without
+    per-element ``int()`` boxing.
     """
-    if elide:
-        count = useful_bytes // request.pack.index_bytes
-        values = active.index_oracle[active.oracle_pos : active.oracle_pos + count]
-        active.oracle_pos += count
-        return values.tolist()
+    count = useful_bytes // request.pack.index_bytes
+    pos = active.oracle_pos
+    active.oracle_pos = pos + count
+    if elide or resp is not _RESP_OKAY:
+        return active.index_oracle[pos : pos + count].tolist()
     dtype = _INDEX_DTYPES[request.pack.index_bytes]
     return np.frombuffer(data, dtype=dtype).tolist()
 
@@ -112,6 +136,7 @@ class _ActiveIndirectRead:
         "next_beat",
         "index_oracle",
         "oracle_pos",
+        "index_resp",
     )
 
     def __init__(self, request: BusRequest) -> None:
@@ -121,8 +146,12 @@ class _ActiveIndirectRead:
         self.index_pos = 0
         self.elements_planned = 0
         self.next_beat = 0
-        self.index_oracle: Optional[np.ndarray] = None  #: ELIDE only
+        #: ELIDE always; FULL materializes it lazily on a poisoned line
+        self.index_oracle: Optional[np.ndarray] = None
         self.oracle_pos = 0
+        #: worst response over the burst's index-fetch lines so far; element
+        #: beats planned after a fault inherit it
+        self.index_resp = _RESP_OKAY
 
     @property
     def fully_planned(self) -> bool:
@@ -197,10 +226,14 @@ class IndirectReadConverter(Converter):
             ready = self._index_pipe.pop_ready_beat()
             if ready is None:
                 return
-            plan, data, request = ready
+            plan, data, request, resp = ready
             active = self._by_txn.get(request.txn_id)
             if active is not None:
-                values = index_line_values(active, plan, data, request, self._elide)
+                if resp is not _RESP_OKAY:
+                    self._note_index_fault(active, resp)
+                values = index_line_values(
+                    active, plan, data, request, self._elide, resp
+                )
                 active.index_buffer.extend(int(i) for i in values)
             self._c_index_lines.value += 1
 
@@ -212,13 +245,24 @@ class IndirectReadConverter(Converter):
             ready = pipe.pop_ready_beat()
             if ready is None:
                 return
-            useful, data, request = ready
+            useful, data, request, resp = ready
             active = self._by_txn.get(request.txn_id)
             if active is not None:
+                if resp is not _RESP_OKAY:
+                    self._note_index_fault(active, resp)
                 active.index_list.extend(
-                    index_line_values_batch(active, useful, data, request, elide)
+                    index_line_values_batch(
+                        active, useful, data, request, elide, resp
+                    )
                 )
             self._c_index_lines.value += 1
+
+    def _note_index_fault(self, active: _ActiveIndirectRead, resp: Resp) -> None:
+        """A poisoned index line: fall back to oracle values, taint the burst."""
+        if active.index_oracle is None:
+            active.index_oracle = read_index_oracle(self.ctx, active.request)
+        if resp.value > active.index_resp.value:
+            active.index_resp = resp
 
     def _plan_element_beats(self) -> None:
         """Element request generation for the oldest incompletely planned burst."""
@@ -241,7 +285,7 @@ class IndirectReadConverter(Converter):
                     bus_words=self.ctx.config.bus_words,
                     burst_seq=0,
                 )
-                self._element_pipe.add_plans(request, [plan])
+                self._element_pipe.add_plans(request, [plan], active.index_resp)
                 active.elements_planned += beat_elems
                 active.next_beat += 1
             return  # keep burst order: never plan burst k+1 before k is done
@@ -271,6 +315,7 @@ class IndirectReadConverter(Converter):
                     batch_indexed_beat(
                         request, active.next_beat, offsets, word_bytes, bus_words
                     ),
+                    active.index_resp,
                 )
                 active.elements_planned += beat_elems
                 active.next_beat += 1

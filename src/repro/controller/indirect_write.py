@@ -15,6 +15,7 @@ import numpy as np
 from repro.axi.pack import PackMode
 from repro.axi.signals import BBeat
 from repro.axi.transaction import BusRequest
+from repro.axi.types import Resp
 from repro.controller.context import AdapterContext
 from repro.controller.converter import Converter
 from repro.controller.indirect_read import (
@@ -31,6 +32,9 @@ from repro.controller.lanes import (
 from repro.controller.pipes import ReadPipe, WritePipe
 from repro.controller.planners import plan_index_fetch_beats, plan_indexed_beat
 from repro.mem.words import WordRequest
+
+#: Prebound: compared once per completed index line.
+_RESP_OKAY = Resp.OKAY
 
 
 class _ActiveIndirectWrite:
@@ -52,6 +56,7 @@ class _ActiveIndirectWrite:
         "next_beat",
         "index_oracle",
         "oracle_pos",
+        "index_resp",
     )
 
     def __init__(self, request: BusRequest, wpipe_burst) -> None:
@@ -63,8 +68,11 @@ class _ActiveIndirectWrite:
         self.payloads: Deque[bytes] = deque()
         self.elements_planned = 0
         self.next_beat = 0
-        self.index_oracle: Optional[np.ndarray] = None  #: ELIDE only
+        #: ELIDE always; FULL materializes it lazily on a poisoned line
+        self.index_oracle: Optional[np.ndarray] = None
         self.oracle_pos = 0
+        #: worst response over the burst's index-fetch lines so far
+        self.index_resp = _RESP_OKAY
 
     @property
     def fully_planned(self) -> bool:
@@ -151,10 +159,14 @@ class IndirectWriteConverter(Converter):
             ready = self._index_pipe.pop_ready_beat()
             if ready is None:
                 return
-            plan, data, request = ready
+            plan, data, request, resp = ready
             active = self._by_txn.get(request.txn_id)
             if active is not None:
-                values = index_line_values(active, plan, data, request, self._elide)
+                if resp is not _RESP_OKAY:
+                    self._note_index_fault(active, resp)
+                values = index_line_values(
+                    active, plan, data, request, self._elide, resp
+                )
                 active.index_buffer.extend(int(i) for i in values)
             self._c_index_lines.value += 1
 
@@ -165,13 +177,24 @@ class IndirectWriteConverter(Converter):
             ready = pipe.pop_ready_beat()
             if ready is None:
                 return
-            useful, data, request = ready
+            useful, data, request, resp = ready
             active = self._by_txn.get(request.txn_id)
             if active is not None:
+                if resp is not _RESP_OKAY:
+                    self._note_index_fault(active, resp)
                 active.index_list.extend(
-                    index_line_values_batch(active, useful, data, request, elide)
+                    index_line_values_batch(
+                        active, useful, data, request, elide, resp
+                    )
                 )
             self._c_index_lines.value += 1
+
+    def _note_index_fault(self, active: _ActiveIndirectWrite, resp: Resp) -> None:
+        """A poisoned index line: fall back to oracle values, taint the burst."""
+        if active.index_oracle is None:
+            active.index_oracle = read_index_oracle(self.ctx, active.request)
+        if resp.value > active.index_resp.value:
+            active.index_resp = resp
 
     def _plan_write_beats(self) -> None:
         for active in self._bursts:
@@ -194,7 +217,9 @@ class IndirectWriteConverter(Converter):
                     burst_seq=0,
                 )
                 payload = active.payloads.popleft()
-                self._write_pipe.add_beat(plan, payload, active.wpipe_burst)
+                self._write_pipe.add_beat(
+                    plan, payload, active.wpipe_burst, active.index_resp
+                )
                 active.elements_planned += beat_elems
                 active.next_beat += 1
             return
@@ -225,6 +250,7 @@ class IndirectWriteConverter(Converter):
                     ),
                     payload,
                     active.wpipe_burst,
+                    active.index_resp,
                 )
                 active.elements_planned += beat_elems
                 active.next_beat += 1

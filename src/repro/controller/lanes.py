@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.axi.signals import BBeat, RBeat
 from repro.axi.transaction import BusRequest
+from repro.axi.types import Resp
 from repro.controller.context import AdapterConfig
 from repro.controller.pipes import _ActiveWriteBurst
 from repro.controller.regulator import RequestRegulator
@@ -44,6 +45,9 @@ from repro.errors import ProtocolError, SimulationError
 from repro.mem.words import WordRequest
 from repro.sim.policy import DataPolicy
 from repro.sim.stats import StatsRegistry
+
+#: Prebound default: checked once per word response on the hot path.
+_RESP_OKAY = Resp.OKAY
 
 
 class SlotBatch:
@@ -70,6 +74,7 @@ class SlotBatch:
         "beat_acks",
         "beat_data",
         "beat_payload",
+        "beat_resp",
         "num_beats",
         "num_slots",
         "all_full_words",
@@ -106,7 +111,19 @@ class SlotBatch:
         self.beat_acks: Optional[List[int]] = None  #: write pipes only
         self.beat_data: Optional[List[bytearray]] = None  #: FULL reads only
         self.beat_payload: Optional[List[Optional[bytes]]] = None  #: writes
+        #: per-beat worst response — None until a beat is first poisoned, so
+        #: the fault-free hot path pays one attribute check, no list
+        self.beat_resp: Optional[List[Resp]] = None
         self.all_full_words = all_full_words
+
+    def poison_beat(self, beat: int, resp: Resp) -> None:
+        """Merge an error response into one beat (lazy table materialize)."""
+        table = self.beat_resp
+        if table is None:
+            table = [_RESP_OKAY] * self.num_beats
+            self.beat_resp = table
+        if resp.value > table[beat].value:
+            table[beat] = resp
 
     def alloc_read_buffers(self) -> None:
         """Allocate per-beat payload assembly buffers (FULL policy reads)."""
@@ -487,10 +504,21 @@ class LaneReadPipe:
         self._accepted_bursts = 0
 
     # -------------------------------------------------------------- planning
-    def add_batch(self, request: BusRequest, batch: SlotBatch) -> None:
-        """Queue one planned slot batch belonging to ``request``."""
+    def add_batch(
+        self,
+        request: BusRequest,
+        batch: SlotBatch,
+        resp: Resp = _RESP_OKAY,
+    ) -> None:
+        """Queue one planned slot batch belonging to ``request``.
+
+        ``resp`` pre-poisons every beat of the batch (element beats planned
+        from a poisoned index fetch).
+        """
         if not self._elide:
             batch.alloc_read_buffers()
+        if resp is not _RESP_OKAY:
+            batch.beat_resp = [resp] * batch.num_beats
         beats = self._beats
         for k in range(batch.num_beats):
             beats.append((batch, k, request))
@@ -560,6 +588,16 @@ class LaneReadPipe:
             raise SimulationError(f"regulator underflow on port {port}")
         in_flight[port] -= 1
 
+    def take_error_response(self, batch: SlotBatch, i: int, resp: Resp) -> None:
+        """Deliver one errored word: no data, the beat is poisoned instead."""
+        batch.poison_beat(batch.beat_of[i], resp)
+        batch.beat_remaining[batch.beat_of[i]] -= 1
+        in_flight = self.regulator._in_flight
+        port = batch.ports[i]
+        if in_flight[port] <= 0:
+            raise SimulationError(f"regulator underflow on port {port}")
+        in_flight[port] -= 1
+
     def _check_issued(self, batch: SlotBatch, k: int) -> None:
         """Same consistency guard as the scalar pipe: a beat with word
         accesses cannot complete before all of them were issued."""
@@ -574,9 +612,9 @@ class LaneReadPipe:
             )
 
     # --------------------------------------------------------------- packing
-    def pop_ready_beat(self) -> Optional[Tuple[int, bytes, BusRequest]]:
-        """Return ``(useful_bytes, data, request)`` for the oldest beat if
-        complete, removing it from the pipe."""
+    def pop_ready_beat(self) -> Optional[Tuple[int, bytes, BusRequest, Resp]]:
+        """Return ``(useful_bytes, data, request, resp)`` for the oldest beat
+        if complete, removing it from the pipe."""
         beats = self._beats
         if not beats:
             return None
@@ -589,7 +627,13 @@ class LaneReadPipe:
         # The assembly buffer is complete and never written again, so it is
         # handed out without a defensive copy.
         data = b"" if buffers is None else buffers[k]
-        return batch.beat_useful[k], data, request
+        resps = batch.beat_resp
+        return (
+            batch.beat_useful[k],
+            data,
+            request,
+            _RESP_OKAY if resps is None else resps[k],
+        )
 
     def pop_ready_r_beat(self) -> Optional[RBeat]:
         """Like :meth:`pop_ready_beat` but wrapped as an R-channel beat."""
@@ -604,11 +648,13 @@ class LaneReadPipe:
         buffers = batch.beat_data
         # Complete and never written again — no defensive copy.
         data = b"" if buffers is None else buffers[k]
+        resps = batch.beat_resp
         return RBeat(
             txn_id=request.txn_id,
             data=data,
             useful_bytes=batch.beat_useful[k],
             last=batch.beat_last[k],
+            resp=_RESP_OKAY if resps is None else resps[k],
         )
 
     # ------------------------------------------------------------------ state
@@ -687,10 +733,20 @@ class LaneWritePipe:
         return None
 
     def add_beat_batch(
-        self, batch: SlotBatch, payload: bytes, burst: _ActiveWriteBurst
+        self,
+        batch: SlotBatch,
+        payload: bytes,
+        burst: _ActiveWriteBurst,
+        resp: Resp = _RESP_OKAY,
     ) -> None:
-        """Queue one explicitly planned single-beat batch (indirect writes)."""
+        """Queue one explicitly planned single-beat batch (indirect writes).
+
+        ``resp`` pre-poisons the beat (indices substituted after an errored
+        index fetch).
+        """
         batch.init_write_state()
+        if resp is not _RESP_OKAY:
+            batch.beat_resp = [resp] * batch.num_beats
         self._arm_beat(batch, 0, payload, burst)
 
     def _arm_beat(
@@ -775,6 +831,16 @@ class LaneWritePipe:
             raise SimulationError(f"regulator underflow on port {port}")
         in_flight[port] -= 1
 
+    def take_error_ack(self, batch: SlotBatch, i: int, resp: Resp) -> None:
+        """Deliver one errored word-write acknowledgement (poisons the beat)."""
+        batch.poison_beat(batch.beat_of[i], resp)
+        batch.beat_acks[batch.beat_of[i]] -= 1
+        in_flight = self.regulator._in_flight
+        port = batch.ports[i]
+        if in_flight[port] <= 0:
+            raise SimulationError(f"regulator underflow on port {port}")
+        in_flight[port] -= 1
+
     # -------------------------------------------------------------- emission
     def pop_ready_b_beat(self) -> Optional[BBeat]:
         """Return a B beat once the oldest burst's writes are all complete."""
@@ -785,7 +851,7 @@ class LaneWritePipe:
         if burst.all_w_received and burst.complete:
             self._bursts.popleft()
             self._burst_batches.pop(id(burst), None)
-            return BBeat(txn_id=burst.request.txn_id)
+            return BBeat(txn_id=burst.request.txn_id, resp=burst.resp)
         return None
 
     def _retire_completed_beats(self) -> None:
@@ -796,6 +862,11 @@ class LaneWritePipe:
                 break
             beats.popleft()
             burst.beats_completed += 1
+            resps = batch.beat_resp
+            if resps is not None:
+                resp = resps[beat]
+                if resp.value > burst.resp.value:
+                    burst.resp = resp
 
     # ------------------------------------------------------------------ state
     def busy(self) -> bool:

@@ -21,6 +21,7 @@ from typing import Deque, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.axi.signals import BBeat, RBeat
 from repro.axi.transaction import BusRequest
+from repro.axi.types import Resp
 from repro.controller.context import AdapterConfig
 from repro.controller.plans import BeatPlan, ReadBeatState, WordSlot, WriteBeatState
 from repro.controller.regulator import RequestRegulator
@@ -28,6 +29,9 @@ from repro.errors import SimulationError
 from repro.mem.words import WordRequest
 from repro.sim.policy import DataPolicy
 from repro.sim.stats import StatsRegistry
+
+#: Prebound default: checked once per word response on the hot path.
+_RESP_OKAY = Resp.OKAY
 
 
 class ReadPipe:
@@ -64,11 +68,22 @@ class ReadPipe:
         self._accepted_bursts = 0
 
     # -------------------------------------------------------------- planning
-    def add_plans(self, request: BusRequest, plans: Iterable[BeatPlan]) -> None:
-        """Queue pre-computed beat plans belonging to ``request``."""
+    def add_plans(
+        self,
+        request: BusRequest,
+        plans: Iterable[BeatPlan],
+        resp: Resp = _RESP_OKAY,
+    ) -> None:
+        """Queue pre-computed beat plans belonging to ``request``.
+
+        ``resp`` pre-poisons every queued beat: the indirect converters use
+        it to taint element beats planned from a poisoned index fetch.
+        """
         make_state = self._make_state
         for plan in plans:
             state = make_state(plan)
+            if resp is not _RESP_OKAY:
+                state.resp = resp
             self._beats.append((state, request))
             if plan.slots:
                 self._unissued.append([state, 0])
@@ -136,8 +151,21 @@ class ReadPipe:
             raise SimulationError(f"regulator underflow on port {port}")
         in_flight[port] -= 1
 
+    def take_error_response(
+        self, state: ReadBeatState, slot: WordSlot, resp: Resp
+    ) -> None:
+        """Deliver one errored word: no data, the beat is poisoned instead."""
+        if resp.value > state.resp.value:
+            state.resp = resp
+        state.remaining -= 1
+        in_flight = self.regulator._in_flight
+        port = slot.port
+        if in_flight[port] <= 0:
+            raise SimulationError(f"regulator underflow on port {port}")
+        in_flight[port] -= 1
+
     # --------------------------------------------------------------- packing
-    def pop_ready_beat(self) -> Optional[Tuple[BeatPlan, bytes, BusRequest]]:
+    def pop_ready_beat(self) -> Optional[Tuple[BeatPlan, bytes, BusRequest, Resp]]:
         """Return the oldest beat if it is complete, removing it from the pipe."""
         if not self._beats:
             return None
@@ -151,19 +179,20 @@ class ReadPipe:
                 f"{self.name}: beat completed before all slots were issued"
             )
         data = b"" if state.data is None else bytes(state.data)
-        return state.plan, data, request
+        return state.plan, data, request, state.resp
 
     def pop_ready_r_beat(self) -> Optional[RBeat]:
         """Like :meth:`pop_ready_beat` but wrapped as an R-channel beat."""
         ready = self.pop_ready_beat()
         if ready is None:
             return None
-        plan, data, _request = ready
+        plan, data, _request, resp = ready
         return RBeat(
             txn_id=plan.txn_id,
             data=data,
             useful_bytes=plan.useful_bytes,
             last=plan.last,
+            resp=resp,
         )
 
     # ------------------------------------------------------------------ state
@@ -183,13 +212,18 @@ class ReadPipe:
 
 
 class _ActiveWriteBurst:
-    """Book-keeping for one write burst travelling through a WritePipe."""
+    """Book-keeping for one write burst travelling through a WritePipe.
+
+    ``resp`` accumulates the worst response of the burst's retired beats
+    and becomes the B response when the burst completes.
+    """
 
     def __init__(self, request: BusRequest, planner: Optional[Iterator[BeatPlan]]) -> None:
         self.request = request
         self.planner = planner
         self.w_beats_received = 0
         self.beats_completed = 0
+        self.resp = _RESP_OKAY
 
     @property
     def all_w_received(self) -> bool:
@@ -255,11 +289,23 @@ class WritePipe:
                 return burst
         return None
 
-    def add_beat(self, plan: BeatPlan, payload: bytes, burst: _ActiveWriteBurst) -> None:
-        """Queue one fully planned write beat with its payload."""
+    def add_beat(
+        self,
+        plan: BeatPlan,
+        payload: bytes,
+        burst: _ActiveWriteBurst,
+        resp: Resp = _RESP_OKAY,
+    ) -> None:
+        """Queue one fully planned write beat with its payload.
+
+        ``resp`` pre-poisons the beat (indirect writes whose index fetch
+        errored taint the element beats planned from substituted indices).
+        """
         state = WriteBeatState(
             plan=plan, payload=None if self._elide else bytes(payload)
         )
+        if resp is not _RESP_OKAY:
+            state.resp = resp
         self._beats.append((state, burst))
         if plan.slots:
             self._unissued.append(state)
@@ -321,6 +367,19 @@ class WritePipe:
             raise SimulationError(f"regulator underflow on port {port}")
         in_flight[port] -= 1
 
+    def take_error_ack(
+        self, state: WriteBeatState, slot: WordSlot, resp: Resp
+    ) -> None:
+        """Deliver one errored word-write acknowledgement (poisons the beat)."""
+        if resp.value > state.resp.value:
+            state.resp = resp
+        state.acks_pending -= 1
+        in_flight = self.regulator._in_flight
+        port = slot.port
+        if in_flight[port] <= 0:
+            raise SimulationError(f"regulator underflow on port {port}")
+        in_flight[port] -= 1
+
     # -------------------------------------------------------------- emission
     def pop_ready_b_beat(self) -> Optional[BBeat]:
         """Return a B beat once the oldest burst's writes are all complete."""
@@ -330,7 +389,7 @@ class WritePipe:
         burst = self._bursts[0]
         if burst.all_w_received and burst.complete:
             self._bursts.popleft()
-            return BBeat(txn_id=burst.request.txn_id)
+            return BBeat(txn_id=burst.request.txn_id, resp=burst.resp)
         return None
 
     def _retire_completed_beats(self) -> None:
@@ -340,6 +399,9 @@ class WritePipe:
                 break
             self._beats.popleft()
             burst.beats_completed += 1
+            resp = state.resp
+            if resp is not _RESP_OKAY and resp.value > burst.resp.value:
+                burst.resp = resp
 
     # ------------------------------------------------------------------ state
     def busy(self) -> bool:

@@ -15,6 +15,11 @@ from __future__ import annotations
 
 from typing import List
 
+from repro.axi.types import Resp
+
+#: Prebound default: beat states are built once per beat on the hot path.
+_RESP_OKAY = Resp.OKAY
+
 
 class WordSlot:
     """One word access belonging to a beat.
@@ -98,14 +103,17 @@ class ReadBeatState:
 
     ``data`` is the packed beat payload under assembly — or ``None`` under
     ``DataPolicy.ELIDE``, where only the completion count is tracked.
+    ``resp`` is the worst response of the beat's word accesses so far: a
+    poisoned word slot taints its whole beat (and the R beat built from it).
     """
 
-    __slots__ = ("plan", "remaining", "data")
+    __slots__ = ("plan", "remaining", "data", "resp")
 
     def __init__(self, plan: BeatPlan, remaining: int, data: bytearray) -> None:
         self.plan = plan
         self.remaining = remaining
         self.data = data
+        self.resp = _RESP_OKAY
 
     @classmethod
     def from_plan(cls, plan: BeatPlan) -> "ReadBeatState":
@@ -133,10 +141,12 @@ class WriteBeatState:
     """In-flight tracking of a write beat: issued words and acknowledgements.
 
     ``payload`` is ``None`` under ``DataPolicy.ELIDE`` (word writes are
-    issued and acknowledged with their geometry only).
+    issued and acknowledged with their geometry only).  ``resp`` is the
+    worst response among the beat's word acknowledgements; the write pipe
+    merges it into the burst's B response when the beat retires.
     """
 
-    __slots__ = ("plan", "payload", "next_slot", "acks_pending")
+    __slots__ = ("plan", "payload", "next_slot", "acks_pending", "resp")
 
     def __init__(
         self,
@@ -149,6 +159,7 @@ class WriteBeatState:
         self.payload = payload
         self.next_slot = next_slot
         self.acks_pending = acks_pending
+        self.resp = _RESP_OKAY
 
     @property
     def all_issued(self) -> bool:

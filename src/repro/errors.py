@@ -29,11 +29,35 @@ class SimulationError(ReproError):
 
 
 class DeadlockError(SimulationError):
-    """The simulation made no forward progress for too many cycles."""
+    """The simulation made no forward progress for too many cycles.
+
+    ``diagnosis`` carries the engine's structured
+    :class:`~repro.sim.engine.HangDiagnosis` snapshot (per-component busy
+    state, queue occupancies and the blamed queue); ``None`` when the error
+    was raised by code without access to an engine snapshot.
+    """
+
+    def __init__(self, message: str, diagnosis=None) -> None:
+        super().__init__(message)
+        self.diagnosis = diagnosis
 
 
-class MemoryError_(ReproError):
-    """An access fell outside the modelled memory or was misaligned."""
+class MemoryAccessError(ReproError):
+    """An access fell outside the modelled memory or was misaligned.
+
+    Every out-of-range functional access — storage reads/writes, burst
+    payload helpers, image initialization — raises this one class, so
+    callers can distinguish "the program touched bad memory" from an AXI
+    protocol violation (:class:`ProtocolError`).  Note that the *simulated*
+    bus never raises it: cycle-level endpoints convert bad addresses into
+    in-band SLVERR/DECERR responses (see :mod:`repro.axi.types`).
+    """
+
+
+#: Deprecated alias — the class was originally named with a trailing
+#: underscore to dodge the ``MemoryError`` builtin.  Prefer
+#: :class:`MemoryAccessError`; the alias remains for older callers.
+MemoryError_ = MemoryAccessError
 
 
 class WorkloadError(ReproError):

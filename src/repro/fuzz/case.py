@@ -88,11 +88,22 @@ class OpSpec:
 
 @dataclass(frozen=True)
 class FuzzCase:
-    """A complete fuzz input: system kind, data seed, and op segments."""
+    """A complete fuzz input: system kind, data seed, and op segments.
+
+    ``bus_fault`` is the optional fault-injection axis: ``(kind, ordinal)``
+    where ``kind`` is a :data:`repro.axi.faults.BUS_FAULT_KINDS` entry and
+    ``ordinal`` selects one of the case's *store* ops (modulo the store
+    count, in (segment, position) order).  The runner turns it into a
+    :class:`~repro.axi.faults.BusFaultPlan` keyed on the chosen store's
+    output byte-address region — topology-stable by construction, so the
+    same case faults the same access on every cube topology.  Cases with no
+    store ops run fault-free regardless.
+    """
 
     kind: str = "pack"
     seed: int = 0
     segments: Tuple[Tuple[OpSpec, ...], ...] = ((OpSpec("vle"),),)
+    bus_fault: Optional[Tuple[str, int]] = None
 
     @property
     def mode(self) -> LoweringMode:
@@ -100,8 +111,10 @@ class FuzzCase:
 
     def describe(self) -> str:
         ops = sum(len(segment) for segment in self.segments)
+        fault = f", bus_fault={self.bus_fault[0]}@store{self.bus_fault[1]}" \
+            if self.bus_fault else ""
         return (f"FuzzCase(kind={self.kind}, seed={self.seed}, "
-                f"{len(self.segments)} segment(s), {ops} op(s))")
+                f"{len(self.segments)} segment(s), {ops} op(s){fault})")
 
 
 # --------------------------------------------------------------- planning
@@ -406,8 +419,12 @@ def build_case_programs(
 
 # -------------------------------------------------------------- persistence
 def case_to_dict(case: FuzzCase) -> dict:
-    """JSON-ready dict; inverse of :func:`case_from_dict`."""
-    return {
+    """JSON-ready dict; inverse of :func:`case_from_dict`.
+
+    ``bus_fault`` is emitted only when set, so fault-free cases keep the
+    digests (and corpus file names) they had before the axis existed.
+    """
+    payload = {
         "kind": case.kind,
         "seed": case.seed,
         "segments": [
@@ -417,6 +434,9 @@ def case_to_dict(case: FuzzCase) -> dict:
             for segment in case.segments
         ],
     }
+    if case.bus_fault is not None:
+        payload["bus_fault"] = list(case.bus_fault)
+    return payload
 
 
 def case_from_dict(payload: dict) -> FuzzCase:
@@ -427,8 +447,10 @@ def case_from_dict(payload: dict) -> FuzzCase:
               for spec in segment)
         for segment in payload["segments"]
     )
+    bus_fault = payload.get("bus_fault")
     return FuzzCase(kind=payload["kind"], seed=payload["seed"],
-                    segments=segments)
+                    segments=segments,
+                    bus_fault=tuple(bus_fault) if bus_fault else None)
 
 
 def case_digest(case: FuzzCase) -> str:

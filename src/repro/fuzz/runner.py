@@ -15,12 +15,23 @@ Cycle counts are *not* compared across topologies — adding an interconnect
 changes timing by design; each ``(engines, channels)`` topology is its own
 identity class.
 
+Cases may carry a **bus-fault axis** (``FuzzCase.bus_fault``): the runner
+lowers it to a :class:`~repro.axi.faults.BusFaultPlan` keyed on one store
+op's output byte-address region (topology-stable) and then demands that
+every point of a topology agrees bit-identically on the structured fault
+report *and* the final FULL memory image, and that the aborted image is
+sane: every non-faulted store region is all-oracle (the op completed) or
+all-initial (the op was never dispatched), and nothing outside the case's
+store regions moved.  ``stall`` faults are absorbed by back-pressure, so
+those runs must complete fault-free and pass the ordinary oracle checks.
+
 ``fuzz_main`` drives the harness from seeded hypothesis strategies with
 shrinking, which is what ``repro fuzz`` invokes.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -28,8 +39,10 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.axi.faults import BusFaultPlan, BusFaultSpec
 from repro.axi.transaction import reset_txn_ids
 from repro.fuzz.case import (
+    CasePlan,
     FuzzCase,
     build_case_programs,
     case_to_dict,
@@ -103,6 +116,77 @@ def _datapath(mode: str):
             os.environ[DATAPATH_ENV] = saved
 
 
+def _store_regions(plan: CasePlan) -> List[Tuple[int, int]]:
+    """All store-op output regions as ``(base, nbytes)`` in program order.
+
+    The order is the same (segment, position) walk ``plan_case`` allocates
+    in, so a fault ordinal names the same region on every topology.
+    """
+    regions: List[Tuple[int, int]] = []
+    for segment in plan.segments:
+        for op in segment:
+            if op.kind in ("vse", "scatter", "fence_readback"):
+                regions.append((op.base, op.count * 4))
+            elif op.kind == "vsse":
+                regions.append((op.base, ((op.count - 1) * op.stride + 1) * 4))
+    return regions
+
+
+def _fault_plan(plan: CasePlan) -> Tuple[Optional[BusFaultPlan],
+                                         Optional[Tuple[int, int]]]:
+    """Lower ``case.bus_fault`` to a plan keyed on one store's byte region.
+
+    Returns ``(None, None)`` when the case carries no fault axis or has no
+    store ops to target (a fault with nothing to hit degenerates to a
+    fault-free run).
+    """
+    case = plan.case
+    if case.bus_fault is None:
+        return None, None
+    regions = _store_regions(plan)
+    if not regions:
+        return None, None
+    kind, ordinal = case.bus_fault
+    base, nbytes = regions[int(ordinal) % len(regions)]
+    spec = BusFaultSpec(kind=kind, addr_lo=base, addr_hi=base + nbytes)
+    return BusFaultPlan(faults=(spec,)), (base, nbytes)
+
+
+def _check_aborted_memory(case: FuzzCase, point: str,
+                          regions: List[Tuple[int, int]],
+                          faulted: Tuple[int, int],
+                          initial: np.ndarray, expected: np.ndarray,
+                          actual: np.ndarray) -> None:
+    """Sanity-check a FULL image after a graceful abort.
+
+    Which ops beyond the faulting one still ran is timing-dependent across
+    topologies, but every individual outcome is all-or-nothing: an op
+    dispatched before the abort drains to completion (its region matches
+    the oracle), an op never dispatched leaves its region untouched (the
+    initial image).  The faulted op's own region is the one place partial
+    effects are legal, so it is exempt.
+    """
+    checked = np.zeros(actual.shape[0], dtype=bool)
+    for base, nbytes in regions:
+        window = slice(base, base + nbytes)
+        checked[window] = True
+        if (base, nbytes) == faulted:
+            continue
+        got = actual[window]
+        if not (np.array_equal(got, expected[window])
+                or np.array_equal(got, initial[window])):
+            raise FuzzDivergence(
+                case, point,
+                f"aborted run corrupted store region "
+                f"[{hex(base)}, {hex(base + nbytes)}): matches neither the "
+                f"oracle (op completed) nor the initial image (op dropped)")
+    rest = ~checked
+    if not np.array_equal(actual[rest], initial[rest]):
+        raise FuzzDivergence(
+            case, point,
+            "aborted run modified memory outside the case's store regions")
+
+
 def _first_diff(expected: np.ndarray, actual: np.ndarray) -> str:
     mismatch = np.nonzero(expected != actual)[0]
     addr = int(mismatch[0])
@@ -133,12 +217,16 @@ def run_fuzz_case(case: FuzzCase, max_cycles: int = 5_000_000) -> FuzzCaseReport
     """Run one case across the cube; raise :class:`FuzzDivergence` on mismatch."""
     plan = plan_case(case)
     report = FuzzCaseReport(case=case)
+    fault_plan, faulted_region = _fault_plan(plan)
+    # ``stall`` perturbs timing but completes cleanly; the error kinds abort.
+    fault_aborts = fault_plan is not None and case.bus_fault[0] != "stall"
 
     # Oracle pass: one interpretation gives the expected final memory image
     # (identical for every topology — output regions are disjoint and inputs
     # read-only) and the expected per-engine register files per topology.
     oracle_storage = MemoryStorage(FUZZ_MEMORY_BYTES)
     initialize_image(oracle_storage, plan)
+    initial_mem = oracle_storage.snapshot() if fault_aborts else None
     multi_engine_ok = len(plan.segments) >= 2
     topologies = [
         topo for topo in CUBE_TOPOLOGIES if multi_engine_ok or topo[0] == 1
@@ -167,6 +255,7 @@ def run_fuzz_case(case: FuzzCase, max_cycles: int = 5_000_000) -> FuzzCaseReport
         topo_tag = (f"{num_engines}eng" if num_channels == 1
                     else f"{num_engines}eng{num_channels}ch")
         baseline: Optional[Tuple[str, tuple]] = None
+        abort_mem: Optional[Tuple[str, np.ndarray]] = None
         for datapath, event, policy in cube:
             point = (f"{topo_tag}/{datapath}/"
                      f"{'event' if event else 'naive'}/{policy}")
@@ -179,11 +268,28 @@ def run_fuzz_case(case: FuzzCase, max_cycles: int = 5_000_000) -> FuzzCaseReport
                     config = config.with_engines(num_engines)
                 if num_channels > 1:
                     config = config.with_channels(num_channels)
+                if fault_plan is not None:
+                    config = config.with_bus_faults(fault_plan)
                 soc = build_system(config)
                 initialize_image(soc.storage, plan)
                 cycles, results = soc.run_programs(
                     programs, max_cycles=max_cycles, event_driven=event)
-            key = (cycles, dict(soc.stats_snapshot()), tuple(results))
+            fault_report = soc.last_fault_report
+            if fault_aborts and fault_report is None:
+                raise FuzzDivergence(
+                    case, point,
+                    f"injected {case.bus_fault[0]} fault produced no "
+                    f"fault report — the abort was swallowed")
+            if not fault_aborts and fault_report is not None:
+                raise FuzzDivergence(
+                    case, point,
+                    f"unexpected fault report on a run that should "
+                    f"complete: {fault_report}")
+            # The fault report (serialized canonically) joins the
+            # within-topology identity key: every cube point must abort on
+            # the same op at the same cycle with the same response.
+            key = (cycles, dict(soc.stats_snapshot()), tuple(results),
+                   json.dumps(fault_report, sort_keys=True))
             if baseline is None:
                 baseline = (point, key)
                 report.cycles_by_topology[(num_engines, num_channels)] = cycles
@@ -198,20 +304,40 @@ def run_fuzz_case(case: FuzzCase, max_cycles: int = 5_000_000) -> FuzzCaseReport
                     parts.append(f"stats differ on {sorted(diffs)[:6]}")
                 if key[2] != base_key[2]:
                     parts.append("per-engine results differ")
+                if key[3] != base_key[3]:
+                    parts.append(f"fault reports differ: "
+                                 f"{base_key[3]} vs {key[3]}")
                 raise FuzzDivergence(
                     case, point,
                     f"not bit-identical to [{base_point}]: {'; '.join(parts)}")
             if policy == "full":
                 actual_mem = soc.storage.snapshot()
-                if not np.array_equal(expected_mem, actual_mem):
-                    raise FuzzDivergence(
-                        case, point,
-                        "memory image differs from oracle: "
-                        + _first_diff(expected_mem, actual_mem))
-                for engine, expected in zip(soc.last_engines,
-                                            oracle_regs[num_engines]):
-                    _compare_regfile(point, case, engine.name, expected,
-                                     engine.regfile._vector)
+                if fault_aborts:
+                    # Aborted runs cannot match the oracle wholesale; demand
+                    # instead that every FULL point of this topology lands
+                    # on the same image and that the image decomposes into
+                    # completed-vs-dropped ops cleanly.
+                    if abort_mem is None:
+                        abort_mem = (point, actual_mem)
+                        _check_aborted_memory(
+                            case, point, _store_regions(plan), faulted_region,
+                            initial_mem, expected_mem, actual_mem)
+                    elif not np.array_equal(abort_mem[1], actual_mem):
+                        raise FuzzDivergence(
+                            case, point,
+                            f"aborted memory image differs from "
+                            f"[{abort_mem[0]}]: "
+                            + _first_diff(abort_mem[1], actual_mem))
+                else:
+                    if not np.array_equal(expected_mem, actual_mem):
+                        raise FuzzDivergence(
+                            case, point,
+                            "memory image differs from oracle: "
+                            + _first_diff(expected_mem, actual_mem))
+                    for engine, expected in zip(soc.last_engines,
+                                                oracle_regs[num_engines]):
+                        _compare_regfile(point, case, engine.name, expected,
+                                         engine.regfile._vector)
             report.points.append(point)
     return report
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from hypothesis import strategies as st
 
+from repro.axi.faults import BUS_FAULT_KINDS
 from repro.fuzz.case import (
     INPUT_ELEMS,
     MAX_COUNT,
@@ -81,6 +82,19 @@ def op_specs() -> st.SearchStrategy:
     )
 
 
+#: Optional bus-fault axis: most cases run fault-free (``None`` twice in
+#: the one_of biases generation toward the clean differential checks); the
+#: rest inject one fault kind against one store ordinal.  Shrinking pulls
+#: toward ``None``, so a divergence that survives without the fault axis
+#: sheds it.
+_bus_faults = st.one_of(
+    st.none(),
+    st.none(),
+    st.tuples(st.sampled_from(BUS_FAULT_KINDS),
+              st.integers(min_value=0, max_value=15)),
+)
+
+
 def fuzz_cases() -> st.SearchStrategy:
     """Strategy for a whole case: kind, data seed, 1-3 segments of 1-6 ops."""
     segments = st.lists(
@@ -92,4 +106,5 @@ def fuzz_cases() -> st.SearchStrategy:
         kind=st.sampled_from(("base", "pack", "ideal")),
         seed=st.integers(min_value=0, max_value=2 ** 16 - 1),
         segments=segments,
+        bus_fault=_bus_faults,
     )

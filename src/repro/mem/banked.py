@@ -30,6 +30,8 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, List, Optional, Tuple
 
+from repro.axi.faults import BusFaultPlan
+from repro.axi.types import Resp, worst_resp
 from repro.errors import ConfigurationError
 from repro.mem.storage import MemoryStorage
 from repro.mem.words import BankAddressMap, WordRequest, WordResponse
@@ -89,6 +91,7 @@ class BankedMemory(Component):
         storage: MemoryStorage,
         stats: Optional[StatsRegistry] = None,
         data_policy: DataPolicy = DataPolicy.FULL,
+        bus_faults: Optional[BusFaultPlan] = None,
     ) -> None:
         super().__init__(name)
         self.config = config
@@ -96,6 +99,12 @@ class BankedMemory(Component):
         self.stats = stats if stats is not None else StatsRegistry()
         self.data_policy = data_policy
         self._elide = data_policy.elides_data
+        # Fault-injection choke point: prefiltered by port name so the plan
+        # is consulted per *granted word* only when it could ever fire here.
+        self._fault_plan = (
+            bus_faults if bus_faults is not None
+            and bus_faults.touches_port(name) else None
+        )
         self.address_map = config.address_map
         self.request_queues: List[DecoupledQueue[WordRequest]] = [
             DecoupledQueue(f"{name}.req[{port}]", config.request_queue_depth)
@@ -118,6 +127,9 @@ class BankedMemory(Component):
         #: FULL-policy word read/write fast path (aliases storage._data)
         self._mem_view = storage._data.data
         self._mem_size = storage.size_bytes
+        #: number of whole words in the image — the word-granular range
+        #: check is two integer compares, policy-independent by design
+        self._num_words = storage.size_bytes // config.word_bytes
         # Prebound hot-path counters (see repro.sim.stats).
         self._c_conflicts = self.stats.counter("mem.bank_conflicts")
         self._c_accesses = self.stats.counter("mem.bank_accesses")
@@ -261,9 +273,12 @@ class BankedMemory(Component):
         elide = self._elide
         latency = config.latency
         word_bytes = config.word_bytes
+        num_words = self._num_words
+        fault_plan = self._fault_plan
+        name = self.name
         view = self._mem_view
-        size = self._mem_size
         writes = 0
+        lost = 0
         ready = cycle + latency
         for port in granted:
             # Inlined DecoupledQueue.pop (one grant per port per cycle).
@@ -277,30 +292,56 @@ class BankedMemory(Component):
                     queue._touched = True
                     engine._touched_queues.append(queue)
             request = queue._storage.popleft()
+            # Word-granular range check in *both* policies (two integer
+            # compares): a bad address completes with SLVERR in-band and
+            # never touches the storage, so FULL and ELIDE stay bit-equal
+            # on faulting programs too.
+            serve = 0 <= request.word_addr < num_words
+            if not serve:
+                request.resp = Resp.SLVERR
+            port_ready = ready
+            if fault_plan is not None:
+                # Injection choke point (consulted before the storage
+                # access: an injected error means the bank did *not*
+                # perform the access).  Word accesses carry no txn serial,
+                # so plans targeting this path key by address range.
+                fault = fault_plan.first_match(
+                    name, None, request.word_addr * word_bytes
+                )
+                if fault is not None:
+                    kind = fault.kind
+                    if kind == "lost":
+                        lost += 1
+                        if request.is_write:
+                            writes += 1
+                        continue  # the response simply never comes back
+                    if kind == "stall":
+                        port_ready = ready + fault.stall_cycles
+                    else:
+                        request.resp = worst_resp(request.resp, fault.resp)
+                        serve = False
             if elide:
                 # Timing-only fast path: no storage access at all.
                 if request.is_write:
                     writes += 1
             else:
-                byte_addr = request.word_addr * word_bytes
-                end = byte_addr + word_bytes
-                if byte_addr < 0 or end > size:
-                    # Delegate to the storage methods for the canonical
-                    # out-of-range error.
-                    self.storage.read_bytes(byte_addr, word_bytes)
                 if request.is_write:
                     data = request.data
                     if data is None:
                         raise ConfigurationError("write word request without data")
-                    if isinstance(data, (bytes, bytearray, memoryview)):
-                        view[byte_addr:end] = data
-                    else:
-                        self.storage.write(byte_addr, data)
+                    if serve:
+                        byte_addr = request.word_addr * word_bytes
+                        end = byte_addr + word_bytes
+                        if isinstance(data, (bytes, bytearray, memoryview)):
+                            view[byte_addr:end] = data
+                        else:
+                            self.storage.write(byte_addr, data)
                     writes += 1
-                else:
-                    request.data = view[byte_addr:end].tobytes()
-            all_in_flight[port].append((ready, request))
-        self._flight_count += len(granted)
+                elif serve:
+                    byte_addr = request.word_addr * word_bytes
+                    request.data = view[byte_addr : byte_addr + word_bytes].tobytes()
+            all_in_flight[port].append((port_ready, request))
+        self._flight_count += len(granted) - lost
         self._c_accesses.value += len(granted)
         self._c_writes.value += writes
         self._c_reads.value += len(granted) - writes

@@ -15,10 +15,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from typing import Optional
+
 from repro.axi.pack import PackMode
 from repro.axi.stream import IndirectStream, Stream
 from repro.axi.transaction import BusRequest
-from repro.errors import ProtocolError
+from repro.errors import MemoryAccessError, ProtocolError
 from repro.mem.storage import MemoryStorage
 
 
@@ -64,6 +66,35 @@ def element_addresses(storage: MemoryStorage, request: BusRequest) -> np.ndarray
     if request.contiguous or request.is_narrow:
         return request.addr + np.arange(request.num_elements, dtype=np.int64) * request.elem_bytes
     raise ProtocolError(f"cannot compute addresses for {request.describe()}")
+
+
+def burst_fault_address(storage: MemoryStorage,
+                        request: BusRequest) -> Optional[int]:
+    """First byte address the burst touches outside ``storage``, or None.
+
+    The cycle-level endpoints use this *before* moving any data to decide
+    whether a burst completes with ``SLVERR`` instead of raising — the
+    check is purely functional (element addresses only), so it gives the
+    same verdict under ``DataPolicy.ELIDE``, where no payload exists to
+    trip over.  An indirect burst whose index array itself lies outside
+    memory faults at its ``index_base``.
+    """
+    size = storage.size_bytes
+    if request.contiguous and not request.is_packed:
+        if request.addr < 0:
+            return request.addr
+        end = request.addr + request.payload_bytes
+        if end > size:
+            return max(request.addr, size)
+        return None
+    try:
+        addresses = element_addresses(storage, request)
+    except MemoryAccessError:
+        return request.index_base
+    bad = np.nonzero((addresses < 0) | (addresses + request.elem_bytes > size))[0]
+    if len(bad):
+        return int(addresses[bad[0]])
+    return None
 
 
 def read_burst_payload(storage: MemoryStorage, request: BusRequest) -> np.ndarray:

@@ -15,11 +15,17 @@ from typing import Deque, Optional
 
 import numpy as np
 
+from repro.axi.faults import BusFaultPlan, BusFaultSpec
 from repro.axi.port import AxiPort
 from repro.axi.signals import BBeat, RBeat
 from repro.axi.transaction import BusRequest
+from repro.axi.types import Resp
 from repro.errors import ProtocolError
-from repro.mem.functional import read_burst_payload, write_burst_payload
+from repro.mem.functional import (
+    burst_fault_address,
+    read_burst_payload,
+    write_burst_payload,
+)
 from repro.mem.storage import MemoryStorage
 from repro.sim.component import IDLE, Component, WakeHint
 from repro.sim.policy import DataPolicy
@@ -33,6 +39,13 @@ class IdealMemoryEndpoint(Component):
     storage: read beats carry empty payloads with the exact ``useful_bytes``
     geometry of FULL mode, and write bursts are consumed and acknowledged
     without applying their (absent) payloads.
+
+    Error semantics: a burst touching any byte outside the storage — or one
+    matched by an injected :class:`~repro.axi.faults.BusFaultSpec` — never
+    moves data.  Reads deliver the full burst length as phantom beats
+    (``useful_bytes=0``, ``resp=SLVERR``/``DECERR``); writes consume every
+    W beat, discard the payload and answer an error B.  The range check is
+    functional (element addresses only), so FULL and ELIDE agree on it.
     """
 
     def __init__(
@@ -43,6 +56,7 @@ class IdealMemoryEndpoint(Component):
         latency: int = 2,
         stats: Optional[StatsRegistry] = None,
         data_policy: DataPolicy = DataPolicy.FULL,
+        bus_faults: Optional[BusFaultPlan] = None,
     ) -> None:
         super().__init__(name)
         self.port = port
@@ -51,27 +65,52 @@ class IdealMemoryEndpoint(Component):
         self.stats = stats if stats is not None else StatsRegistry()
         self.data_policy = data_policy
         self._elide = data_policy.elides_data
+        self._fault_plan = (
+            bus_faults if bus_faults is not None
+            and bus_faults.touches_port(name) else None
+        )
         # Active read: [request, payload bytes | None, next beat index,
-        # ready cycle, per-beat useful-byte table (ELIDE only)]
+        # ready cycle, per-beat useful-byte table (ELIDE/error only), resp]
         self._read: Optional[list] = None
         self._read_backlog: Deque[BusRequest] = deque()
-        # Active write: (request, collected payload bytes, beats received)
+        # Active write: [request, collected payload bytes, beats received,
+        # resp, lost?, stall cycles, B-ready cycle | None]
         self._write: Optional[list] = None
 
     # ------------------------------------------------------------------ tick
     def tick(self, cycle: int) -> WakeHint:
         self._serve_reads(cycle)
         self._serve_writes(cycle)
-        # Every transition except a read waiting out its latency is gated on
-        # port-queue activity (AR/AW/W arrivals, R/B back-pressure), which
-        # re-wakes us via the subscriptions; streaming reads self-wake through
-        # their own R pushes.
+        # Every transition except a burst waiting out its latency (or an
+        # injected response stall) is gated on port-queue activity (AR/AW/W
+        # arrivals, R/B back-pressure), which re-wakes us via the
+        # subscriptions; streaming reads self-wake through their own R pushes.
+        wake = IDLE
         if self._read is not None and self._read[3] > cycle:
-            return self._read[3]
-        return IDLE
+            wake = self._read[3]
+        if self._write is not None:
+            b_ready = self._write[6]
+            if b_ready is not None and b_ready > cycle and b_ready < wake:
+                wake = b_ready
+        return wake
 
     def wake_queues(self):
         return self.port.all_queues()
+
+    # ---------------------------------------------------------------- faults
+    def _injected_fault(self, request: BusRequest) -> Optional[BusFaultSpec]:
+        """The plan's fault for this burst, if any (keyed by name/txn/addr)."""
+        if self._fault_plan is None:
+            return None
+        return self._fault_plan.first_match(
+            self.name, request.txn_id, request.addr
+        )
+
+    def _burst_resp(self, request: BusRequest) -> Resp:
+        """SLVERR for a burst touching any byte outside the storage."""
+        if burst_fault_address(self.storage, request) is not None:
+            return Resp.SLVERR
+        return Resp.OKAY
 
     # ------------------------------------------------------------------ reads
     def _serve_reads(self, cycle: int) -> None:
@@ -79,18 +118,20 @@ class IdealMemoryEndpoint(Component):
         # bubble — the IDEAL memory has perfect bandwidth and latency.
         while self.port.ar.can_pop() and len(self._read_backlog) < 8:
             self._read_backlog.append(self.port.ar.pop())
-        if self._read is None and self._read_backlog:
+        while self._read is None and self._read_backlog:
+            # Loop: a lost-response burst is swallowed whole, and the next
+            # backlog entry must still start this cycle.
             self._start_read(self._read_backlog.popleft(), cycle)
         if self._read is None:
             return
-        request, payload, beat_index, ready_cycle, usefuls = self._read
+        request, payload, beat_index, ready_cycle, usefuls, resp = self._read
         if cycle < ready_cycle or not self.port.r.can_push():
             return
         bus_bytes = request.bus_bytes
         start = beat_index * bus_bytes
         if payload is None:
-            # Timing-only: geometry of the beat without the bytes, from the
-            # per-burst useful-byte table precomputed at burst start.
+            # Timing-only (or phantom error) beat: geometry without bytes,
+            # from the per-burst useful-byte table precomputed at burst start.
             chunk = b""
             useful = usefuls[beat_index]
         else:
@@ -103,6 +144,7 @@ class IdealMemoryEndpoint(Component):
                 data=chunk,
                 useful_bytes=useful,
                 last=last,
+                resp=resp,
             )
         )
         self.stats.add("ideal.r_beats")
@@ -119,7 +161,21 @@ class IdealMemoryEndpoint(Component):
     def _start_read(self, request: BusRequest, cycle: int) -> None:
         if request.is_write:
             raise ProtocolError("write request arrived on the AR channel")
-        if self._elide:
+        resp = self._burst_resp(request)
+        stall = 0
+        fault = self._injected_fault(request)
+        if fault is not None:
+            if fault.kind == "lost":
+                return  # the burst vanishes: no R beats, ever
+            if fault.kind == "stall":
+                stall = fault.stall_cycles
+            else:
+                resp = fault.resp
+        if resp is not Resp.OKAY:
+            # Error burst: full burst length as phantom beats, no data read.
+            payload = None
+            usefuls = [0] * request.num_beats
+        elif self._elide:
             # Batch geometry precompute: the whole burst's per-beat
             # useful-byte counts in one pass (they match the FULL-mode
             # payload slices exactly — a misaligned contiguous burst's
@@ -135,7 +191,8 @@ class IdealMemoryEndpoint(Component):
         else:
             payload = read_burst_payload(self.storage, request)
             usefuls = None
-        self._read = [request, payload, 0, cycle + self.latency, usefuls]
+        self._read = [request, payload, 0, cycle + self.latency + stall,
+                      usefuls, resp]
 
     # ----------------------------------------------------------------- writes
     def _serve_writes(self, cycle: int) -> None:
@@ -143,14 +200,25 @@ class IdealMemoryEndpoint(Component):
             request = self.port.aw.pop()
             if not request.is_write:
                 raise ProtocolError("read request arrived on the AW channel")
-            self._write = [request, [], 0]
+            resp = self._burst_resp(request)
+            lost = False
+            stall = 0
+            fault = self._injected_fault(request)
+            if fault is not None:
+                if fault.kind == "lost":
+                    lost = True  # W beats are still drained; B never comes
+                elif fault.kind == "stall":
+                    stall = fault.stall_cycles
+                else:
+                    resp = fault.resp
+            self._write = [request, [], 0, resp, lost, stall, None]
         if self._write is None:
             return
-        request, chunks, beats = self._write
+        request, chunks, beats, resp, lost, stall, b_ready = self._write
         # Consume at most one W beat per cycle (one bus width of bandwidth).
         if beats < request.num_beats and self.port.w.can_pop():
             beat = self.port.w.pop()
-            if not self._elide:
+            if not self._elide and resp is Resp.OKAY and not lost:
                 data = beat.data
                 if isinstance(data, (bytes, bytearray, memoryview)):
                     chunk = np.frombuffer(data, dtype=np.uint8)[: beat.useful_bytes]
@@ -161,11 +229,21 @@ class IdealMemoryEndpoint(Component):
             self._write[2] = beats
             self.stats.add("ideal.w_beats")
             self.stats.add("ideal.w_useful_bytes", beat.useful_bytes)
-        if beats == request.num_beats and self.port.b.can_push():
-            if not self._elide:
+        if beats != request.num_beats:
+            return
+        if lost:
+            # Every W beat is consumed, then the transaction vanishes: the
+            # payload is dropped and no B response is ever sent.
+            self._write = None
+            return
+        if b_ready is None:
+            b_ready = cycle + stall
+            self._write[6] = b_ready
+        if cycle >= b_ready and self.port.b.can_push():
+            if not self._elide and resp is Resp.OKAY:
                 payload = np.concatenate(chunks)[: request.payload_bytes]
                 write_burst_payload(self.storage, request, payload)
-            self.port.b.push(BBeat(txn_id=request.txn_id))
+            self.port.b.push(BBeat(txn_id=request.txn_id, resp=resp))
             self._write = None
 
     # ------------------------------------------------------------------ state

@@ -13,7 +13,7 @@ from typing import Union
 
 import numpy as np
 
-from repro.errors import MemoryError_
+from repro.errors import MemoryAccessError
 from repro.utils.validation import check_positive
 
 
@@ -24,7 +24,7 @@ class MemoryStorage:
     ----------
     size_bytes:
         Capacity of the modelled SRAM.  Accesses outside ``[0, size_bytes)``
-        raise :class:`~repro.errors.MemoryError_` — silent wrap-around would
+        raise :class:`~repro.errors.MemoryAccessError` — silent wrap-around would
         mask workload address-generation bugs.
     """
 
@@ -35,7 +35,7 @@ class MemoryStorage:
     # ------------------------------------------------------------ raw access
     def _check_range(self, addr: int, length: int) -> None:
         if addr < 0 or length < 0 or addr + length > self.size_bytes:
-            raise MemoryError_(
+            raise MemoryAccessError(
                 f"access [{addr:#x}, {addr + length:#x}) outside memory of "
                 f"{self.size_bytes:#x} bytes"
             )
@@ -71,7 +71,7 @@ class MemoryStorage:
         the word-access hot path of the banked memory model.
         """
         if addr < 0 or length < 0 or addr + length > self.size_bytes:
-            raise MemoryError_(
+            raise MemoryAccessError(
                 f"access [{addr:#x}, {addr + length:#x}) outside memory of "
                 f"{self.size_bytes:#x} bytes"
             )
@@ -123,7 +123,7 @@ class MemoryStorage:
         else:
             payload = np.asarray(data, dtype=np.uint8).ravel()
         if len(payload) != len(addresses) * elem_bytes:
-            raise MemoryError_(
+            raise MemoryAccessError(
                 "scatter payload size does not match address count x element size"
             )
         for i, addr in enumerate(addresses):

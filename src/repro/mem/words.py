@@ -15,9 +15,14 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.axi.types import Resp
 from repro.errors import ConfigurationError
 from repro.utils.bitutils import is_power_of_two
 from repro.utils.validation import check_positive
+
+#: Module-level constant: WordRequest construction is the simulator's
+#: hottest allocation site, so the default resp is bound once here.
+_RESP_OKAY = Resp.OKAY
 
 
 @dataclass(frozen=True)
@@ -87,9 +92,14 @@ class WordRequest:
     tag:
         Opaque routing tag used by the issuing converter to match responses
         (converter id, beat number, slot within the beat, ...).
+    resp:
+        Response code filled in by the memory when the access completes
+        (the request object doubles as its own response on the banked
+        path).  ``Resp.OKAY`` unless the word fell outside the memory or a
+        fault plan targeted it.
     """
 
-    __slots__ = ("port", "word_addr", "is_write", "data", "tag")
+    __slots__ = ("port", "word_addr", "is_write", "data", "tag", "resp")
 
     def __init__(
         self,
@@ -104,6 +114,7 @@ class WordRequest:
         self.is_write = is_write
         self.data = data
         self.tag = tag
+        self.resp = _RESP_OKAY
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = "write" if self.is_write else "read"
@@ -114,10 +125,11 @@ class WordResponse:
     """Response to a :class:`WordRequest` after the bank access completes.
 
     ``data`` carries the word payload for reads (``bytes``), None for write
-    acknowledgements.
+    acknowledgements.  ``resp`` reports the access outcome (OKAY unless
+    the word faulted).
     """
 
-    __slots__ = ("port", "tag", "data", "is_write")
+    __slots__ = ("port", "tag", "data", "is_write", "resp")
 
     def __init__(
         self,
@@ -125,11 +137,13 @@ class WordResponse:
         tag: object,
         data: object = None,
         is_write: bool = False,
+        resp: object = None,
     ) -> None:
         self.port = port
         self.tag = tag
         self.data = data
         self.is_write = is_write
+        self.resp = _RESP_OKAY if resp is None else resp
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = "write" if self.is_write else "read"

@@ -59,6 +59,8 @@ def system_run_result_to_dict(result: SystemRunResult) -> Dict[str, Any]:
         payload["engines"] = [
             engine_result_to_dict(engine) for engine in result.engines
         ]
+    if result.fault_report is not None:
+        payload["fault_report"] = result.fault_report
     return payload
 
 
@@ -76,4 +78,5 @@ def system_run_result_from_dict(data: Mapping[str, Any]) -> SystemRunResult:
             None if engines is None
             else [engine_result_from_dict(engine) for engine in engines]
         ),
+        fault_report=data.get("fault_report"),
     )

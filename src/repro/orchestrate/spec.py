@@ -43,7 +43,12 @@ from repro.version import __version__
 #: and interleave stripe, and multi-channel results carry per-channel
 #: (``chan{j}.``-prefixed) stats, so pre-crossbar entries are
 #: unreachable/prunable.
-CACHE_SCHEMA_VERSION = 4
+#: 5: ``SystemConfig`` grew ``bus_faults`` (deterministic bus-level fault
+#: injection) — fingerprints now name the fault plan, fault-injected results
+#: carry a ``fault_report``, and ``bus_faults=None`` runs get fresh keys so a
+#: faulted result can never serve a fault-free request; pre-fault entries are
+#: unreachable/prunable.
+CACHE_SCHEMA_VERSION = 5
 
 
 def canonicalize(value: Any) -> Any:

@@ -36,7 +36,8 @@ from __future__ import annotations
 
 import math
 import os
-from typing import Callable, List, Optional
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
 
 from repro.errors import DeadlockError, SimulationError
 from repro.sim.component import IDLE, Component
@@ -46,6 +47,82 @@ from repro.sim.queue import DecoupledQueue, LatencyPipe
 def _default_event_driven() -> bool:
     """Engine mode default: event-driven unless REPRO_SIM_ENGINE=naive."""
     return os.environ.get("REPRO_SIM_ENGINE", "event").strip().lower() != "naive"
+
+
+@dataclass(frozen=True)
+class QueueState:
+    """Occupancy snapshot of one simulation queue at diagnosis time."""
+
+    name: str
+    occupancy: int
+    depth: int
+    #: components subscribed to (i.e. woken by) this queue — the candidates
+    #: that should have drained it
+    waiters: Tuple[str, ...]
+
+    def describe(self) -> str:
+        consumers = ", ".join(self.waiters) if self.waiters else "<none>"
+        return f"{self.name} ({self.occupancy}/{self.depth}; waiters: {consumers})"
+
+
+@dataclass(frozen=True)
+class HangDiagnosis:
+    """Structured snapshot of a simulation that stopped making progress.
+
+    Attached to :class:`~repro.errors.DeadlockError` (``.diagnosis``) so
+    harnesses and the CLI can render *why* a run wedged instead of just that
+    it did: which components still claim outstanding work, which queues hold
+    undelivered items, and the single most-suspect queue (``blame`` — the
+    fullest stuck queue, whose subscribed consumers stopped draining it).
+    """
+
+    cycle: int
+    window: int
+    busy_components: Tuple[str, ...]
+    queues: Tuple[QueueState, ...]
+    blame: Optional[QueueState]
+
+    def to_dict(self) -> dict:
+        """Plain JSON-serializable form for logs and supervision journals."""
+        return {
+            "cycle": self.cycle,
+            "window": self.window,
+            "busy_components": list(self.busy_components),
+            "queues": [
+                {"name": q.name, "occupancy": q.occupancy, "depth": q.depth,
+                 "waiters": list(q.waiters)}
+                for q in self.queues
+            ],
+            "blame": None if self.blame is None else self.blame.name,
+        }
+
+    def render(self) -> str:
+        """Multi-line human-readable rendering (CLI error output)."""
+        lines = [
+            f"no forward progress for {self.window} cycles at cycle {self.cycle}",
+            "busy components: "
+            + (", ".join(self.busy_components) if self.busy_components else "<none>"),
+        ]
+        if self.queues:
+            lines.append("non-empty queues:")
+            lines.extend(f"  {q.describe()}" for q in self.queues)
+        else:
+            lines.append("non-empty queues: <none>")
+        if self.blame is not None:
+            lines.append(
+                f"blame: {self.blame.describe()} — fullest stuck queue; its "
+                "waiters stopped draining it"
+            )
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        """One-line form, compatible with the pre-diagnosis report string."""
+        stuck = [f"{q.name}({q.occupancy}/{q.depth})" for q in self.queues]
+        return (
+            f"no forward progress for {self.window} cycles at cycle "
+            f"{self.cycle}; busy components: {list(self.busy_components)}; "
+            f"non-empty queues: {stuck}"
+        )
 
 
 class Engine:
@@ -227,7 +304,7 @@ class Engine:
                         pipe.advance(skipped)
                 self.cycle = cycle + skipped
                 if idle_cycles >= window:
-                    raise DeadlockError(self._deadlock_report())
+                    raise self._deadlock_error()
                 continue
             if touched:
                 next_cycle = cycle + 1
@@ -254,7 +331,7 @@ class Engine:
             if activity == last_activity:
                 idle_cycles += 1
                 if idle_cycles >= window:
-                    raise DeadlockError(self._deadlock_report())
+                    raise self._deadlock_error()
             else:
                 idle_cycles = 0
                 last_activity = activity
@@ -277,7 +354,7 @@ class Engine:
             if activity == last_activity:
                 idle_cycles += 1
                 if idle_cycles >= self.deadlock_window:
-                    raise DeadlockError(self._deadlock_report())
+                    raise self._deadlock_error()
             else:
                 idle_cycles = 0
                 last_activity = activity
@@ -299,17 +376,36 @@ class Engine:
             return False
         return all(pipe.is_empty() for pipe in self._pipes)
 
-    def _deadlock_report(self) -> str:
-        busy = [c.name for c in self._components if c.busy()]
-        stuck = [
-            f"{q.name}({q.occupancy}/{q.depth})"
+    def diagnose(self) -> HangDiagnosis:
+        """Snapshot why the simulation is (or appears) wedged, right now.
+
+        Public so harnesses can inspect a hung-but-not-yet-deadlocked run;
+        the deadlock detector attaches the same snapshot to its
+        :class:`~repro.errors.DeadlockError`.
+        """
+        busy = tuple(c.name for c in self._components if c.busy())
+        queues = tuple(
+            QueueState(
+                name=q.name, occupancy=q.occupancy, depth=q.depth,
+                waiters=tuple(w.name for w in q._waiters),
+            )
             for q in self._queues
             if not q.is_empty()
-        ]
-        return (
-            f"no forward progress for {self.deadlock_window} cycles at cycle "
-            f"{self.cycle}; busy components: {busy}; non-empty queues: {stuck}"
         )
+        blame = max(
+            queues,
+            key=lambda q: (q.occupancy / q.depth if q.depth else 0.0,
+                           q.occupancy),
+            default=None,
+        )
+        return HangDiagnosis(
+            cycle=self.cycle, window=self.deadlock_window,
+            busy_components=busy, queues=queues, blame=blame,
+        )
+
+    def _deadlock_error(self) -> DeadlockError:
+        diagnosis = self.diagnose()
+        return DeadlockError(diagnosis.render(), diagnosis=diagnosis)
 
     def reset(self) -> None:
         """Reset cycle count, statistics, components, queues and pipes."""

@@ -6,6 +6,7 @@ import enum
 from dataclasses import dataclass, field, replace
 from typing import Optional, Union
 
+from repro.axi.faults import BusFaultPlan
 from repro.controller.context import AdapterConfig
 from repro.errors import ConfigurationError
 from repro.mem.banked import BankedMemoryConfig
@@ -79,6 +80,12 @@ class SystemConfig:
     arbitration: str = "rr"
     num_channels: int = 1
     channel_stripe_bytes: int = 1024
+    #: Deterministic bus-level fault injection (see :mod:`repro.axi.faults`).
+    #: ``None`` — the default — injects nothing and arms no watchdog, keeping
+    #: fault-free runs bit-identical to the pre-fault-injection simulator.  A
+    #: plan (or its JSON form) threads itself through every memory endpoint
+    #: and crossbar demux and arms the engines' per-transaction watchdog.
+    bus_faults: Optional[BusFaultPlan] = None
 
     def __post_init__(self) -> None:
         if not is_power_of_two(self.bus_bytes):
@@ -112,6 +119,13 @@ class SystemConfig:
             except ValueError as exc:
                 raise ConfigurationError(str(exc)) from None
             object.__setattr__(self, "data_policy", resolved)
+        if self.bus_faults is not None and not isinstance(
+            self.bus_faults, BusFaultPlan
+        ):
+            # Accept the JSON form (dict or string) for CLI/config ergonomics.
+            object.__setattr__(
+                self, "bus_faults", BusFaultPlan.from_json(self.bus_faults)
+            )
 
     # ------------------------------------------------------------ derived
     @property
@@ -173,6 +187,14 @@ class SystemConfig:
         if arbitration is None:
             return replace(self, num_engines=num_engines)
         return replace(self, num_engines=num_engines, arbitration=arbitration)
+
+    def with_bus_faults(
+        self, plan: Optional[Union[BusFaultPlan, dict, str]]
+    ) -> "SystemConfig":
+        """A copy of this configuration under a different fault plan."""
+        if plan is not None and not isinstance(plan, BusFaultPlan):
+            plan = BusFaultPlan.from_json(plan)
+        return replace(self, bus_faults=plan)
 
     def with_channels(self, num_channels: int,
                       stripe_bytes: Optional[int] = None) -> "SystemConfig":

@@ -21,6 +21,11 @@ class SystemRunResult:
     list of per-engine records when the topology has several engines,
     absent otherwise.
 
+    ``fault_report`` is ``None`` for a clean run; a run aborted by bus
+    faults (injected or organic) carries the SoC's JSON-serializable report
+    (``{"faults": [...]}``, one record per failing memory op — see
+    :class:`repro.vector.engine.BusFault`) and is never marked verified.
+
     ``stats`` is the SoC's merged counter snapshot.  On multi-channel
     (crossbar) topologies it carries each counter twice: summed across
     channels under the bare name and per memory channel under a
@@ -35,6 +40,12 @@ class SystemRunResult:
     stats: Mapping[str, float] = field(default_factory=dict)
     verified: Optional[bool] = None
     engines: Optional[List[EngineResult]] = None
+    fault_report: Optional[Dict] = None
+
+    @property
+    def faulted(self) -> bool:
+        """True when the run was aborted by bus faults."""
+        return self.fault_report is not None
 
     @property
     def num_engines(self) -> int:
@@ -65,6 +76,8 @@ class SystemRunResult:
     def summary(self) -> str:
         """One-line human-readable summary."""
         verified = {True: "ok", False: "MISMATCH", None: "unchecked"}[self.verified]
+        if self.faulted:
+            verified = f"ABORTED:{len(self.fault_report['faults'])} fault(s)"
         return (
             f"{self.workload:<8s} {self.kind.value:<5s} cycles={self.cycles:>9d} "
             f"Rutil={self.r_utilization:6.1%} Rutil(data)={self.r_utilization_no_index:6.1%} "

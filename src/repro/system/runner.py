@@ -65,7 +65,10 @@ def run_workload(
         )
         cycles, engines = soc.run_programs(programs, max_cycles=max_cycles)
         engine_result = EngineResult.aggregate(engines, cycles)
-    if config.elides_data:
+    fault_report = soc.last_fault_report
+    if config.elides_data or fault_report is not None:
+        # Nothing to check (ELIDE) or the run aborted mid-program (bus
+        # faults): either way the memory image cannot match the reference.
         verified: Optional[bool] = False
     else:
         verified = workload.verify(soc.storage) if verify else None
@@ -79,6 +82,7 @@ def run_workload(
         stats=soc.stats_snapshot(),
         verified=verified,
         engines=engines,
+        fault_report=fault_report,
     )
 
 

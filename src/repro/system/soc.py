@@ -75,6 +75,10 @@ class Soc:
         #: harnesses can inspect final register-file state.  Empty until the
         #: first run.
         self.last_engines: List[VectorEngine] = []
+        #: JSON-serializable fault report of the most recent run, or ``None``
+        #: when the run completed fault-free (always ``None`` until the first
+        #: run).  See :meth:`run_programs`.
+        self.last_fault_report: Optional[Dict] = None
         #: crossbar pieces; all empty on single-channel SoCs
         self.demuxes: List[CycleAxiDemux] = []
         self.channel_muxes: List[CycleAxiMux] = []
@@ -126,6 +130,7 @@ class Soc:
                 CycleAxiDemux(
                     f"xdemux{index}", self.ports[index], self.link_ports[index],
                     address_map, stats=self.stats, check_straddle=False,
+                    bus_faults=config.bus_faults,
                 )
                 for index in range(config.num_engines)
             ]
@@ -169,12 +174,12 @@ class Soc:
             endpoint = IdealMemoryEndpoint(
                 f"ideal_mem{suffix}", port, self.storage,
                 latency=config.ideal_latency, stats=stats,
-                data_policy=self.data_policy,
+                data_policy=self.data_policy, bus_faults=config.bus_faults,
             )
             return None, endpoint
         memory = BankedMemory(
             f"banked_mem{suffix}", config.memory_config(), self.storage, stats,
-            data_policy=self.data_policy,
+            data_policy=self.data_policy, bus_faults=config.bus_faults,
         )
         endpoint = AxiPackAdapter(
             f"adapter{suffix}", port, memory, config.adapter_config(),
@@ -319,11 +324,15 @@ class Soc:
             names = ["ara"]
         else:
             names = [f"ara{index}" for index in range(self.num_engines)]
+        # The per-transaction watchdog exists only while a fault plan is
+        # attached; fault-free runs carry zero watchdog state.
+        bus_faults = self.config.bus_faults
+        watchdog = 0 if bus_faults is None else bus_faults.watchdog_cycles
         vectors = [
             VectorEngine(
                 name, program, port, vector_config,
                 self.config.lowering, data_policy=self.data_policy,
-                storage=self.storage,
+                storage=self.storage, watchdog_cycles=watchdog,
             )
             for name, program, port in zip(names, programs, self.ports)
         ]
@@ -367,7 +376,18 @@ class Soc:
             def done() -> bool:
                 return all(vector.done() for vector in vectors)
         cycles = engine.run_until(done, max_cycles=max_cycles)
-        self._check_drained()
+        faults = [
+            fault.to_dict() for vector in vectors for fault in vector.faults
+        ]
+        if faults:
+            # Aborted run: the engines quiesced (their own in-flight bursts
+            # drained) but interconnect/endpoint components may hold residual
+            # state for abandoned transactions; ``_reset_for_run`` clears it
+            # before the next run, so the SoC stays reusable.
+            self.last_fault_report = {"faults": faults}
+        else:
+            self.last_fault_report = None
+            self._check_drained()
         return cycles, [vector.result(cycles) for vector in vectors]
 
 

@@ -52,6 +52,7 @@ from repro.axi.port import AxiPort
 from repro.axi.signals import WBeat
 from repro.axi.stream import ContiguousStream, IndirectStream, StridedStream
 from repro.axi.transaction import BusRequest
+from repro.axi.types import Resp
 from repro.errors import SimulationError, WorkloadError
 from repro.sim.component import IDLE, Component, WakeHint
 from repro.sim.policy import DataPolicy
@@ -71,6 +72,38 @@ from repro.vector.regfile import VectorRegisterFile
 _DTYPES = {"float32": np.float32, "uint32": np.uint32, "int32": np.int32,
            "float64": np.float64, "uint64": np.uint64}
 
+_RESP_OKAY = Resp.OKAY
+
+
+@dataclass(frozen=True)
+class BusFault:
+    """Structured record of one failed (or timed-out) vector memory op.
+
+    ``resp`` is the AXI response name (``"SLVERR"``/``"DECERR"``) or
+    ``"TIMEOUT"`` when the per-transaction watchdog abandoned the op after
+    its responses stopped arriving.  One record is emitted per failing op
+    (the first error beat wins; later beats of the same op only escalate
+    the severity the controller already reported in-band).
+    """
+
+    engine: str
+    op_index: int
+    kind: str  #: "load" | "store"
+    addr: int
+    resp: str
+    cycle: int
+
+    def to_dict(self) -> dict:
+        """Plain JSON-serializable form, used by the system fault report."""
+        return {
+            "engine": self.engine,
+            "op_index": self.op_index,
+            "kind": self.kind,
+            "addr": self.addr,
+            "resp": self.resp,
+            "cycle": self.cycle,
+        }
+
 
 class _MemOpState:
     """In-flight bookkeeping of one vector load or store."""
@@ -87,6 +120,8 @@ class _MemOpState:
         "positions",
         "first_beat_cycle",
         "ready_cycle",
+        "resp",
+        "deadline",
     )
 
     def __init__(
@@ -122,6 +157,8 @@ class _MemOpState:
             }
         self.first_beat_cycle: Optional[int] = None
         self.ready_cycle = 0  #: address generation done, requests may be issued
+        self.resp = _RESP_OKAY  #: worst in-band response seen on any beat
+        self.deadline: Optional[int] = None  #: watchdog expiry (None = unarmed)
 
     @property
     def all_issued(self) -> bool:
@@ -212,6 +249,7 @@ class VectorEngine(Component):
         mode: Optional[LoweringMode] = None,
         data_policy: DataPolicy = DataPolicy.FULL,
         storage=None,
+        watchdog_cycles: int = 0,
     ) -> None:
         super().__init__(name)
         self.program = program
@@ -254,6 +292,19 @@ class VectorEngine(Component):
         self._scheduled_computes: set = set()
         self._alu_busy_until = 0
         self._cycle = 0
+        #: per-transaction watchdog period in cycles; 0 disables it.  Armed at
+        #: dispatch and re-armed on every request issue and response beat, so
+        #: it only fires when an op stops making forward progress entirely
+        #: (e.g. a lost R/B response).
+        self._watchdog_cycles = watchdog_cycles
+        #: structured abort state: one BusFault per failing memory op.  The
+        #: first fault flips ``_aborting``, which stops dispatch; in-flight
+        #: ops still drain so the SoC ends in a consistent, reusable state.
+        self.faults: List[BusFault] = []
+        self._aborting = False
+        #: transactions abandoned by the watchdog — late beats for these are
+        #: silently dropped instead of tripping the unknown-txn check
+        self._abandoned_txns: set = set()
 
     # ------------------------------------------------------------------ tick
     def tick(self, cycle: int) -> WakeHint:
@@ -264,6 +315,8 @@ class VectorEngine(Component):
             self._consume_b(cycle)
         if self._pending_computes:
             self._retire_computes(cycle)
+        if self._watchdog_cycles and (self._active_loads or self._active_stores):
+            self._check_watchdog(cycle)
         hint = self._dispatch(cycle)
         if self._unissued_requests:
             self._push_requests(cycle)
@@ -324,8 +377,12 @@ class VectorEngine(Component):
         return True
 
     def done(self) -> bool:
-        """True once every instruction has been dispatched and completed."""
-        if self._next_op < self._num_ops:
+        """True once every instruction has been dispatched and completed.
+
+        An aborting engine is done once its in-flight traffic has drained —
+        undispatched instructions past the faulting op are dropped, not run.
+        """
+        if self._next_op < self._num_ops and not self._aborting:
             return False
         if self._active_loads or self._active_stores or self._pending_computes:
             return False
@@ -350,7 +407,7 @@ class VectorEngine(Component):
         the ops' integer ``KIND`` tags instead of isinstance chains.
         """
         next_op = self._next_op
-        if next_op >= self._num_ops:
+        if next_op >= self._num_ops or self._aborting:
             return IDLE
         if cycle < self._stall_until:
             return self._stall_until
@@ -470,6 +527,8 @@ class VectorEngine(Component):
             self._timer_set.add(state.ready_cycle)
             heappush(self._timers, state.ready_cycle)
         active.append(state)
+        if self._watchdog_cycles:
+            self._arm_watchdog(state, cycle)
         self._unissued_requests += len(requests)
         kind = getattr(op, "kind", "data")
         for request in requests:
@@ -543,6 +602,8 @@ class VectorEngine(Component):
                 self.port.ar.push(state.requests[state.next_request])
                 state.next_request += 1
                 self._unissued_requests -= 1
+                if self._watchdog_cycles:
+                    self._arm_watchdog(state, cycle)
             break
         # One AW per cycle, oldest store first.
         for state in self._active_stores:
@@ -552,6 +613,8 @@ class VectorEngine(Component):
                 self.port.aw.push(state.requests[state.next_request])
                 state.next_request += 1
                 self._unissued_requests -= 1
+                if self._watchdog_cycles:
+                    self._arm_watchdog(state, cycle)
             break
 
     def _push_w_data(self, cycle: int) -> None:
@@ -577,7 +640,13 @@ class VectorEngine(Component):
         txn_id = beat.txn_id
         state = self._by_txn.get(txn_id)
         if state is None:
+            if txn_id in self._abandoned_txns:
+                return  # late beat of a watchdog-abandoned transaction
             raise SimulationError(f"R beat for unknown transaction {txn_id}")
+        if beat.resp is not _RESP_OKAY:
+            self._note_fault(state, txn_id, beat.resp, cycle)
+        if self._watchdog_cycles:
+            self._arm_watchdog(state, cycle)
         useful = beat.useful_bytes
         self.r_monitor.record_beat(useful, kind=self._txn_kind.get(txn_id, "data"))
         if not self._elide:
@@ -594,18 +663,32 @@ class VectorEngine(Component):
 
     def _finish_load(self, state: _MemOpState, cycle: int) -> None:
         op = state.op
+        faulted = state.resp is not _RESP_OKAY
         if self._elide:
             if getattr(op, "kind", "data") == "index":
                 # Index values feed address generation (the BASE system's
                 # register-indexed gathers); resolve them functionally so
-                # later lowering produces FULL-identical requests.
-                self.regfile.write_vector(op.dest, self._oracle_payload(state))
+                # later lowering produces FULL-identical requests.  Faulted
+                # index loads deposit zeros — identically in both policies —
+                # though dispatch has already stopped at the faulting op.
+                if faulted:
+                    payload = np.zeros(op.stream.num_elements, _DTYPES[op.dtype])
+                else:
+                    payload = self._oracle_payload(state)
+                self.regfile.write_vector(op.dest, payload)
         else:
             dtype = _DTYPES[op.dtype]
-            values = np.frombuffer(state.payload(), dtype=dtype)[
-                : op.stream.num_elements
-            ]
-            self.regfile.write_vector(op.dest, values.copy())
+            if faulted:
+                # Error beats are phantoms (no payload); deposit a full-length
+                # zero vector so any already-chained consumer stays
+                # deterministic instead of reading a short buffer.
+                values = np.zeros(op.stream.num_elements, dtype=dtype)
+                self.regfile.write_vector(op.dest, values)
+            else:
+                values = np.frombuffer(state.payload(), dtype=dtype)[
+                    : op.stream.num_elements
+                ]
+                self.regfile.write_vector(op.dest, values.copy())
         self._mark_done(op.op_id, cycle + self.config.memory_latency_slack)
         self._active_loads.remove(state)
         self._forget(state)
@@ -629,7 +712,13 @@ class VectorEngine(Component):
         beat = self._b_queue.pop()
         state = self._by_txn.get(beat.txn_id)
         if state is None:
+            if beat.txn_id in self._abandoned_txns:
+                return  # late response of a watchdog-abandoned transaction
             raise SimulationError(f"B beat for unknown transaction {beat.txn_id}")
+        if beat.resp is not _RESP_OKAY:
+            self._note_fault(state, beat.txn_id, beat.resp, cycle)
+        if self._watchdog_cycles:
+            self._arm_watchdog(state, cycle)
         state.responses_pending -= 1
         if state.complete:
             self._mark_done(state.op.op_id, cycle + 1)
@@ -640,6 +729,95 @@ class VectorEngine(Component):
         for request in state.requests:
             self._by_txn.pop(request.txn_id, None)
             self._txn_kind.pop(request.txn_id, None)
+
+    # ---------------------------------------------------- faults and watchdog
+    @property
+    def aborting(self) -> bool:
+        """True once a bus fault (or watchdog timeout) stopped dispatch."""
+        return self._aborting
+
+    def _note_fault(self, state: _MemOpState, txn_id: int, resp: Resp,
+                    cycle: int) -> None:
+        """Record an in-band error response and enter the abort path.
+
+        One :class:`BusFault` is recorded per failing op — at its first error
+        beat — while ``state.resp`` keeps the worst severity so the register
+        zero-fill in :meth:`_finish_load` sees every later escalation too.
+        """
+        if state.resp is _RESP_OKAY:
+            self.faults.append(
+                BusFault(
+                    engine=self.name,
+                    op_index=state.op.op_id,
+                    kind="load" if state.is_load else "store",
+                    addr=state.requests[state.positions[txn_id]].addr,
+                    resp=resp.name,
+                    cycle=cycle,
+                )
+            )
+            self._aborting = True
+        if resp.value > state.resp.value:
+            state.resp = resp
+
+    def _arm_watchdog(self, state: _MemOpState, cycle: int) -> None:
+        deadline = cycle + self._watchdog_cycles
+        state.deadline = deadline
+        # Deadlines land on the timer heap so an event-driven engine wakes to
+        # notice a transaction whose responses stopped arriving entirely.
+        if deadline not in self._timer_set:
+            self._timer_set.add(deadline)
+            heappush(self._timers, deadline)
+
+    def _check_watchdog(self, cycle: int) -> None:
+        for active in (self._active_loads, self._active_stores):
+            for state in list(active):
+                if state.deadline is not None and cycle >= state.deadline:
+                    self._abandon_op(state, cycle)
+
+    def _abandon_op(self, state: _MemOpState, cycle: int) -> None:
+        """Watchdog expiry: give up on a transaction whose responses are lost.
+
+        The op is unwound from every queue the engine owns (unissued request
+        budget, W backlog, txn routing tables) and recorded as a ``TIMEOUT``
+        bus fault, entering the same structured abort path as an in-band
+        error response.  Late beats that do arrive afterwards are dropped via
+        ``_abandoned_txns``.
+        """
+        op = state.op
+        if state.resp is _RESP_OKAY:
+            self.faults.append(
+                BusFault(
+                    engine=self.name,
+                    op_index=op.op_id,
+                    kind="load" if state.is_load else "store",
+                    addr=state.requests[0].addr,
+                    resp="TIMEOUT",
+                    cycle=cycle,
+                )
+            )
+        self._aborting = True
+        if state.is_load and (
+            not self._elide or getattr(op, "kind", "data") == "index"
+        ):
+            # The dest register will never be filled; deposit zeros so any
+            # already-chained consumer stays deterministic (same contract as
+            # the in-band-error path in _finish_load).
+            self.regfile.write_vector(
+                op.dest, np.zeros(op.stream.num_elements, _DTYPES[op.dtype])
+            )
+        for request in state.requests:
+            self._abandoned_txns.add(request.txn_id)
+        unissued = len(state.requests) - state.next_request
+        if unissued:
+            self._unissued_requests -= unissued
+        if self._w_backlog:
+            txns = {request.txn_id for request in state.requests}
+            self._w_backlog = deque(
+                entry for entry in self._w_backlog if entry[0].txn_id not in txns
+            )
+        (self._active_loads if state.is_load else self._active_stores).remove(state)
+        self._forget(state)
+        self._mark_done(op.op_id, cycle)
 
     # ----------------------------------------------------------------- result
     def result(self, cycles: int) -> EngineResult:

@@ -13,8 +13,9 @@ from repro.axi.interconnect import AddressMap, AddressRegion
 from repro.axi.mux import CycleAxiDemux, CycleAxiMux
 from repro.axi.pack import PackMode, PackUserField
 from repro.axi.port import AxiPort, AxiPortConfig
+from repro.axi.signals import WBeat
 from repro.axi.transaction import BusRequest
-from repro.errors import ProtocolError
+from repro.axi.types import Resp
 from repro.sim.engine import Engine
 
 BUS = 32
@@ -156,23 +157,50 @@ class TestDemuxStraddleAtMapBoundaries:
         assert downs[0].ar.occupancy == 1
         assert downs[1].ar.occupancy == 0
 
-    def test_burst_crossing_one_byte_past_the_boundary_is_rejected(self):
+    def test_burst_crossing_one_byte_past_the_boundary_answers_decerr(self):
         up, downs, demux, engine = make_demux()
-        up.ar.push(read_burst(0x07E4, elems=8))  # last byte lands at 0x803
-        with pytest.raises(ProtocolError):
-            engine.step(3)
+        request = read_burst(0x07E4, elems=8)  # last byte lands at 0x803
+        up.ar.push(request)
+        engine.step(6)
+        beats = []
+        while up.r.can_pop():
+            beats.append(up.r.pop())
+        assert len(beats) == request.num_beats
+        assert all(b.resp is Resp.DECERR for b in beats)
+        assert all(b.useful_bytes == 0 and b.data == b"" for b in beats)
+        assert beats[-1].last
+        assert downs[0].ar.occupancy == 0 and downs[1].ar.occupancy == 0
+        assert not demux.busy()
 
-    def test_write_straddle_rejected_like_reads(self):
+    def test_write_straddle_answers_decerr_after_draining_w(self):
         up, downs, demux, engine = make_demux()
-        up.aw.push(write_burst(0x07F0, elems=16))
-        with pytest.raises(ProtocolError):
-            engine.step(3)
+        request = write_burst(0x07F0, elems=16)  # 2 beats
+        up.aw.push(request)
+        for beat in range(request.num_beats):
+            up.w.push(WBeat(data=b"\x00" * BUS, useful_bytes=BUS,
+                            last=beat == request.num_beats - 1))
+        engine.step(6)
+        beat = up.b.pop()
+        assert beat.txn_id == request.txn_id
+        assert beat.resp is Resp.DECERR
+        # Every W beat was consumed and discarded; nothing reached a target.
+        assert up.w.occupancy == 0
+        assert downs[0].aw.occupancy == 0 and downs[1].aw.occupancy == 0
+        assert not demux.busy()
 
-    def test_unmapped_base_address_is_a_decerr(self):
+    def test_unmapped_base_address_answers_decerr_phantom_burst(self):
         up, downs, demux, engine = make_demux()
-        up.ar.push(read_burst(0x1000))  # first byte past the mapped space
-        with pytest.raises(ProtocolError):
-            engine.step(3)
+        request = read_burst(0x1000, elems=16)  # 2 beats, past the mapped space
+        up.ar.push(request)
+        engine.step(6)
+        beats = []
+        while up.r.can_pop():
+            beats.append(up.r.pop())
+        # Phantom beats preserve the burst length per the AXI spec.
+        assert len(beats) == request.num_beats
+        assert all(b.resp is Resp.DECERR and b.useful_bytes == 0 for b in beats)
+        assert [b.last for b in beats] == [False, True]
+        assert not demux.busy()
 
     def test_packed_burst_spanning_the_boundary_routes_by_base(self):
         """A packed-strided burst's elements may land past the boundary; the

@@ -4,6 +4,7 @@ import pytest
 
 from repro.axi.pack import PackUserField
 from repro.axi.transaction import BusRequest
+from repro.axi.types import Resp
 from repro.controller.context import AdapterConfig
 from repro.controller.pipes import ReadPipe, WritePipe
 from repro.controller.planners import plan_strided_beats
@@ -89,10 +90,11 @@ class TestReadPipe:
         for word in out:
             _, state, slot = word.tag
             pipe.take_response(state, slot, bytes([slot.port] * 4))
-        plan, data, req = pipe.pop_ready_beat()
+        plan, data, req, resp = pipe.pop_ready_beat()
         assert req is request
         assert plan.useful_bytes == 32
         assert data == bytes(sum([[p] * 4 for p in range(8)], []))
+        assert resp is Resp.OKAY
 
     def test_beats_emitted_in_order(self):
         pipe = ReadPipe("p", _config(queue_depth=8), StatsRegistry())

@@ -9,6 +9,7 @@ from repro.axi.mux import CycleAxiDemux, CycleAxiMux
 from repro.axi.port import AxiPort, AxiPortConfig
 from repro.axi.signals import RBeat, WBeat
 from repro.axi.transaction import BusRequest
+from repro.axi.types import Resp
 from repro.errors import ConfigurationError, ProtocolError, WorkloadError
 from repro.sim.engine import Engine
 from repro.system.config import SystemConfig, SystemKind
@@ -191,17 +192,30 @@ class TestCycleAxiDemux:
         assert downs[1].ar.pop().addr == 0x0900
         assert demux.routed_counts == [1, 1]
 
-    def test_straddling_contiguous_burst_rejected(self):
+    def test_straddling_contiguous_burst_answers_decerr(self):
         up, downs, demux, engine = self.make_demux()
-        up.ar.push(read_burst(0x07F0, elems=16))  # crosses into region 1
-        with pytest.raises(ProtocolError):
-            engine.step(3)
+        request = read_burst(0x07F0, elems=16)  # crosses into region 1
+        up.ar.push(request)
+        engine.step(6)
+        beats = []
+        while up.r.can_pop():
+            beats.append(up.r.pop())
+        assert len(beats) == request.num_beats
+        assert all(b.resp is Resp.DECERR and b.useful_bytes == 0 for b in beats)
+        assert beats[-1].last
+        assert downs[0].ar.occupancy == 0 and downs[1].ar.occupancy == 0
 
     def test_unmapped_address_decerr(self):
         up, downs, demux, engine = self.make_demux()
-        up.ar.push(read_burst(0x9000))
-        with pytest.raises(ProtocolError):
-            engine.step(3)
+        request = read_burst(0x9000)
+        up.ar.push(request)
+        engine.step(6)
+        beats = []
+        while up.r.can_pop():
+            beats.append(up.r.pop())
+        assert len(beats) == request.num_beats
+        assert all(b.resp is Resp.DECERR for b in beats)
+        assert beats[-1].last
 
     def test_return_beats_merge_round_robin(self):
         up, downs, demux, engine = self.make_demux()
