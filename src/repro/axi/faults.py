@@ -158,7 +158,9 @@ class BusFaultPlan:
             try:
                 payload = json.loads(payload)
             except ValueError as exc:
-                raise ConfigurationError(f"invalid bus fault plan JSON: {exc}")
+                raise ConfigurationError(
+                    f"invalid bus fault plan JSON: {exc}"
+                ) from exc
         if not isinstance(payload, dict):
             raise ConfigurationError(
                 f"bus fault plan must be a JSON object, got {type(payload).__name__}"
@@ -168,7 +170,7 @@ class BusFaultPlan:
                 BusFaultSpec(**fault) for fault in payload.get("faults", ())
             )
         except TypeError as exc:
-            raise ConfigurationError(f"invalid bus fault spec: {exc}")
+            raise ConfigurationError(f"invalid bus fault spec: {exc}") from exc
         return cls(
             faults=faults,
             seed=int(payload.get("seed", 0)),

@@ -8,7 +8,7 @@ opposite.  Queue depths model the channel buffering of the interconnect.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.axi.signals import BBeat, RBeat, WBeat
 from repro.axi.transaction import BusRequest
@@ -36,7 +36,8 @@ class AxiPort:
     available for code that wants the wire-level view.
     """
 
-    def __init__(self, name: str, bus_bytes: int, config: AxiPortConfig = None) -> None:
+    def __init__(self, name: str, bus_bytes: int,
+                 config: Optional[AxiPortConfig] = None) -> None:
         config = config or AxiPortConfig()
         self.name = name
         self.bus_bytes = bus_bytes

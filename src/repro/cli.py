@@ -278,6 +278,18 @@ def _build_parser() -> argparse.ArgumentParser:
                              help="per-point simulation budget")
     fuzz_parser.add_argument("--quiet", action="store_true",
                              help="suppress progress output")
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="statically check the repo's hand-kept invariants (reprolint)",
+    )
+    lint_parser.add_argument("--json", action="store_true",
+                             help="emit a machine-readable JSON report")
+    lint_parser.add_argument("--rules", metavar="GROUPS",
+                             help="comma-separated rule groups to run "
+                                  "(default: all)")
+    lint_parser.add_argument("--list-rules", action="store_true",
+                             help="print the rule catalog and exit")
     return parser
 
 
@@ -615,7 +627,6 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     import cProfile
     import io
     import json
-    import os
     import pstats
     import time
 
@@ -626,16 +637,13 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     )
     from repro.axi.transaction import reset_txn_ids
     from repro.orchestrate.spec import WorkloadSpec
-    from repro.sim.datapath import DATAPATH_ENV, resolve_datapath_mode
+    from repro.sim.datapath import datapath_override
     from repro.system.config import SystemKind
     from repro.system.soc import build_system
 
     spec_kwargs = workload_spec_kwargs(args.workload, args.scale)
     latency = MEMORY_LATENCY[args.memory]
-    datapath = resolve_datapath_mode(args.datapath)
-    saved = os.environ.get(DATAPATH_ENV)
-    os.environ[DATAPATH_ENV] = datapath.value
-    try:
+    with datapath_override(args.datapath) as datapath:
         reset_txn_ids()
         instance = WorkloadSpec.create(args.workload, **spec_kwargs).build()
         config = point_system_config(
@@ -650,11 +658,6 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         cycles, _result = soc.run_program(program)
         profiler.disable()
         wall = time.perf_counter() - start
-    finally:
-        if saved is None:
-            os.environ.pop(DATAPATH_ENV, None)
-        else:
-            os.environ[DATAPATH_ENV] = saved
 
     stats = pstats.Stats(profiler)
     if args.json:
@@ -739,6 +742,45 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                      quiet=args.quiet)
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run reprolint against the checkout this package was imported from.
+
+    ``tools.reprolint`` lives next to ``src/`` in the repository, not inside
+    the package, so locate the repo root first: prefer the manifest found by
+    walking up from the working directory, fall back to the checkout that
+    holds this module.  Outside a checkout there is nothing to lint.
+    """
+    import pathlib
+
+    import repro
+
+    root = None
+    for candidate in (pathlib.Path.cwd(), *pathlib.Path.cwd().resolve().parents):
+        if (candidate / "tools" / "reprolint" / "manifest.json").exists():
+            root = candidate
+            break
+    if root is None:
+        source_root = pathlib.Path(repro.__file__).resolve().parents[2]
+        if (source_root / "tools" / "reprolint" / "manifest.json").exists():
+            root = source_root
+    if root is None:
+        print("error: repro lint needs a repository checkout "
+              "(tools/reprolint/manifest.json not found)", file=sys.stderr)
+        return 2
+    if str(root) not in sys.path:
+        sys.path.insert(0, str(root))
+    from tools.reprolint.cli import main as lint_main
+
+    forwarded: List[str] = ["--root", str(root)]
+    if args.json:
+        forwarded.append("--json")
+    if args.rules:
+        forwarded.extend(["--rules", args.rules])
+    if args.list_rules:
+        forwarded.append("--list-rules")
+    return lint_main(forwarded)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     from repro.errors import ConfigurationError, DeadlockError
@@ -762,6 +804,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_cache(args)
         if args.command == "fuzz":
             return _cmd_fuzz(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -485,6 +485,9 @@ class LaneReadPipe:
     (flat arrays + integer cursors instead of per-object dispatch).
     """
 
+    __slots__ = ("name", "config", "stats", "_elide", "regulator",
+                 "_beats", "_unissued", "_accepted_bursts")
+
     def __init__(
         self,
         name: str,
@@ -683,6 +686,9 @@ class LaneWritePipe:
     Indirect bursts pass ``batch=None`` and add armed single-beat batches
     explicitly once indices and payload are both known.
     """
+
+    __slots__ = ("name", "config", "stats", "_elide", "regulator",
+                 "_bursts", "_beats", "_unissued", "_burst_batches")
 
     def __init__(
         self,

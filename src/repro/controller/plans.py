@@ -13,7 +13,7 @@ more than generated niceties here.  Treat them as immutable once built.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.axi.types import Resp
 
@@ -76,7 +76,7 @@ class BeatPlan:
         txn_id: int,
         useful_bytes: int,
         last: bool,
-        slots: List[WordSlot] = None,
+        slots: Optional[List[WordSlot]] = None,
     ) -> None:
         self.burst_seq = burst_seq
         self.beat_index = beat_index

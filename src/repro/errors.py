@@ -54,11 +54,5 @@ class MemoryAccessError(ReproError):
     """
 
 
-#: Deprecated alias — the class was originally named with a trailing
-#: underscore to dodge the ``MemoryError`` builtin.  Prefer
-#: :class:`MemoryAccessError`; the alias remains for older callers.
-MemoryError_ = MemoryAccessError
-
-
 class WorkloadError(ReproError):
     """A workload was built with invalid parameters or produced bad data."""

@@ -32,8 +32,6 @@ shrinking, which is what ``repro fuzz`` invokes.
 from __future__ import annotations
 
 import json
-import os
-from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -52,7 +50,7 @@ from repro.fuzz.case import (
 )
 from repro.fuzz.oracle import interpret_program
 from repro.mem.storage import MemoryStorage
-from repro.sim.datapath import DATAPATH_ENV
+from repro.sim.datapath import datapath_override
 from repro.system.config import SystemConfig, SystemKind
 from repro.system.soc import build_system
 
@@ -101,19 +99,6 @@ class FuzzCaseReport:
     points: List[str] = field(default_factory=list)
     #: cycles per (engines, channels) topology (each its own identity class)
     cycles_by_topology: Dict[Tuple[int, int], int] = field(default_factory=dict)
-
-
-@contextmanager
-def _datapath(mode: str):
-    saved = os.environ.get(DATAPATH_ENV)
-    os.environ[DATAPATH_ENV] = mode
-    try:
-        yield
-    finally:
-        if saved is None:
-            os.environ.pop(DATAPATH_ENV, None)
-        else:
-            os.environ[DATAPATH_ENV] = saved
 
 
 def _store_regions(plan: CasePlan) -> List[Tuple[int, int]]:
@@ -259,7 +244,7 @@ def run_fuzz_case(case: FuzzCase, max_cycles: int = 5_000_000) -> FuzzCaseReport
         for datapath, event, policy in cube:
             point = (f"{topo_tag}/{datapath}/"
                      f"{'event' if event else 'naive'}/{policy}")
-            with _datapath(datapath):
+            with datapath_override(datapath):
                 reset_txn_ids()
                 config = SystemConfig(
                     memory_bytes=FUZZ_MEMORY_BYTES, data_policy=policy,

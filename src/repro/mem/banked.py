@@ -246,7 +246,11 @@ class BankedMemory(Component):
                 else:
                     prev.append(index)
             granted = []
-            for bank, entry in claims.items():
+            # Bank keys are unique and per-port state is independent, so any
+            # grant order is behaviour-identical — but iterate in sorted bank
+            # order anyway so the walk itself is deterministic by
+            # construction, not by insertion-order accident (reprolint ORD01).
+            for bank, entry in sorted(claims.items()):
                 if entry.__class__ is int:
                     port = batch_ports[entry]
                 else:
@@ -256,7 +260,7 @@ class BankedMemory(Component):
                     last = last_grant[bank]
                     port = min(
                         (batch_ports[i] for i in entry),
-                        key=lambda p: (p - last - 1) % num_ports,
+                        key=lambda p, _last=last: (p - _last - 1) % num_ports,
                     )
                     self._c_conflicts.value += len(entry) - 1
                 last_grant[bank] = port

@@ -11,7 +11,7 @@ strided accesses evenly).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -26,7 +26,7 @@ _RESP_OKAY = Resp.OKAY
 
 
 @dataclass(frozen=True)
-class BankAddressMap:
+class BankAddressMap:  # reprolint: disable=HOT01: frozen dataclass with a field default; __slots__ would clash with the default's class attribute on py3.9, and maps are built once per system, not per beat
     """Interleaved word-to-bank mapping.
 
     Word address ``w = byte_addr // word_bytes`` maps to bank ``w % num_banks``
@@ -106,8 +106,8 @@ class WordRequest:
         port: int,
         word_addr: int,
         is_write: bool,
-        data: object = None,
-        tag: object = None,
+        data: Optional[object] = None,
+        tag: Optional[object] = None,
     ) -> None:
         self.port = port
         self.word_addr = word_addr
@@ -135,9 +135,9 @@ class WordResponse:
         self,
         port: int,
         tag: object,
-        data: object = None,
+        data: Optional[object] = None,
         is_write: bool = False,
-        resp: object = None,
+        resp: Optional[object] = None,
     ) -> None:
         self.port = port
         self.tag = tag

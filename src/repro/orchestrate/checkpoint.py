@@ -69,10 +69,12 @@ class SweepManifest:
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 data = json.load(handle)
-        except FileNotFoundError:
-            raise ManifestError(f"no sweep manifest at {path}")
+        except FileNotFoundError as exc:
+            raise ManifestError(f"no sweep manifest at {path}") from exc
         except (OSError, ValueError) as exc:
-            raise ManifestError(f"unreadable sweep manifest {path}: {exc}")
+            raise ManifestError(
+                f"unreadable sweep manifest {path}: {exc}"
+            ) from exc
         if not isinstance(data, dict):
             raise ManifestError(f"sweep manifest {path} is not a JSON object")
         schema = data.get("manifest_schema")

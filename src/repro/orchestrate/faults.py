@@ -136,7 +136,9 @@ class FaultPlan:
             try:
                 payload = json.loads(payload)
             except ValueError as exc:
-                raise ConfigurationError(f"invalid fault plan JSON: {exc}")
+                raise ConfigurationError(
+                    f"invalid fault plan JSON: {exc}"
+                ) from exc
         if not isinstance(payload, dict):
             raise ConfigurationError(
                 f"fault plan must be a JSON object, got {type(payload).__name__}"
@@ -144,7 +146,7 @@ class FaultPlan:
         try:
             faults = tuple(FaultSpec(**fault) for fault in payload.get("faults", ()))
         except TypeError as exc:
-            raise ConfigurationError(f"invalid fault spec: {exc}")
+            raise ConfigurationError(f"invalid fault spec: {exc}") from exc
         return cls(faults=faults, seed=int(payload.get("seed", 0)),
                    state_dir=payload.get("state_dir"))
 

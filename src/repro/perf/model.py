@@ -17,7 +17,7 @@ bounds.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Optional
 
 import numpy as np
 
@@ -97,7 +97,7 @@ def average_strided_read_utilization(strides: Iterable[int], elem_bytes: int = 4
 def estimate_indirect_read_utilization(elem_bytes: int = 4, index_bytes: int = 4,
                                        bus_bytes: int = 32, word_bytes: int = 4,
                                        num_banks: int = 17,
-                                       random_conflict_penalty: float = None,
+                                       random_conflict_penalty: Optional[float] = None,
                                        seed: int = 0) -> float:
     """Analytic estimate of packed indirect read utilization.
 

@@ -28,9 +28,10 @@ unaffected and FULL/ELIDE entries remain valid across modes.
 
 from __future__ import annotations
 
+import contextlib
 import enum
 import os
-from typing import Optional, Union
+from typing import Iterator, Optional, Union
 
 #: Environment variable selecting the default mode (``batch`` or ``scalar``).
 DATAPATH_ENV = "REPRO_SIM_DATAPATH"
@@ -78,3 +79,27 @@ def resolve_datapath_mode(
             f"unknown datapath mode {value!r}; choose from "
             f"{[mode.value for mode in DatapathMode]}"
         ) from None
+
+
+@contextlib.contextmanager
+def datapath_override(
+    mode: Optional[Union[DatapathMode, str]],
+) -> Iterator[DatapathMode]:
+    """Temporarily pin ``$REPRO_SIM_DATAPATH`` to ``mode``.
+
+    This is the one sanctioned way to flip the datapath representation for a
+    scoped block (the fuzzer's cross-mode oracle, the profile command's A/B
+    runs): the previous environment value is restored on exit, even on
+    error, so the override cannot leak into later runs in the same process.
+    Yields the resolved :class:`DatapathMode`.
+    """
+    resolved = resolve_datapath_mode(mode)
+    saved = os.environ.get(DATAPATH_ENV)
+    os.environ[DATAPATH_ENV] = resolved.value
+    try:
+        yield resolved
+    finally:
+        if saved is None:
+            os.environ.pop(DATAPATH_ENV, None)
+        else:
+            os.environ[DATAPATH_ENV] = saved

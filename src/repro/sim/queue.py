@@ -193,6 +193,8 @@ class LatencyPipe(Generic[ItemT]):
     one request per cycle and always answers after a fixed latency).
     """
 
+    __slots__ = ("name", "latency", "_in_flight", "_cycle")
+
     def __init__(self, name: str, latency: int) -> None:
         self.name = name
         if latency < 1:

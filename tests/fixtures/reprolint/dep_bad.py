@@ -1,0 +1,7 @@
+"""Bad fixture: references to tombstoned names (DEP01)."""
+
+from repro.errors import MemoryError_  # DEP01: deprecated import
+
+
+def classify(exc):
+    return isinstance(exc, MemoryError_)  # DEP01: deprecated use

@@ -1,0 +1,23 @@
+"""Bad fixture: every determinism sin reprolint should catch (DET01-03)."""
+
+import os
+import random
+import time
+
+import numpy as np
+
+
+def stamp():
+    return time.time()  # DET01: wall-clock read
+
+
+def roll():
+    return random.randint(0, 6)  # DET02: process-global RNG
+
+
+def make_rng():
+    return np.random.default_rng()  # DET02: no seed
+
+
+def read_env():
+    return os.environ.get("NOT_ALLOWLISTED")  # DET03: ambient config

@@ -1,0 +1,11 @@
+"""Good fixture: deterministic code — seeded RNGs, no ambient reads."""
+
+import random
+
+import numpy as np
+
+
+def make_values(seed: int):
+    rng = random.Random(seed)
+    nrng = np.random.default_rng(seed)
+    return rng.random(), nrng.integers(0, 10)

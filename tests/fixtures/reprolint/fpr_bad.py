@@ -1,0 +1,21 @@
+"""Bad fixture: a spec with an unfingerprinted field (FPR01/FPR04/FPR05)."""
+
+from dataclasses import dataclass
+
+CACHE_SCHEMA_VERSION = 3
+
+
+@dataclass(frozen=True)
+class MiniSpec:
+    size: int = 1
+    mode: str = "fast"
+    verify: bool = False
+    latency: int = 4  # FPR01: never fingerprinted, never exempted
+
+    def fingerprint(self):
+        return {
+            "schema": CACHE_SCHEMA_VERSION,
+            "size": self.size,
+            # FPR04: the manifest claims `mode` is covered, but it is not
+            # read here.
+        }

@@ -1,0 +1,19 @@
+"""Good fixture: a mini spec module whose fingerprint covers every field."""
+
+from dataclasses import dataclass
+
+CACHE_SCHEMA_VERSION = 3
+
+
+@dataclass(frozen=True)
+class MiniSpec:
+    size: int = 1
+    mode: str = "fast"
+    verify: bool = False
+
+    def fingerprint(self):
+        return {
+            "schema": CACHE_SCHEMA_VERSION,
+            "size": self.size,
+            "mode": self.mode,
+        }

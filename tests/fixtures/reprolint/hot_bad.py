@@ -1,0 +1,29 @@
+"""Bad fixture: slotless hot-module record, None-returning tick (HOT01/02)."""
+
+
+class Component:
+    __slots__ = ()
+
+
+class Beat:  # HOT01: hot-module class without __slots__
+    def __init__(self, addr, data):
+        self.addr = addr
+        self.data = data
+
+
+class LegacyPoller(Component):
+    __slots__ = ("pending",)
+
+    def __init__(self):
+        self.pending = []
+
+    def tick(self, cycle):  # HOT02 at the explicit return below
+        if self.pending:
+            return None
+
+
+class SilentPoller(Component):
+    __slots__ = ()
+
+    def tick(self, cycle):  # HOT02: falls through, no return at all
+        _ = cycle

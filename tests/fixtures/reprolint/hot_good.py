@@ -1,0 +1,33 @@
+"""Good fixture: slotted hot-module records, hint-returning tick."""
+
+import enum
+
+IDLE = -1
+
+
+class Component:
+    __slots__ = ()
+
+
+class Kind(enum.Enum):  # enums are exempt from HOT01
+    A = "a"
+
+
+class Beat:
+    __slots__ = ("addr", "data")
+
+    def __init__(self, addr, data):
+        self.addr = addr
+        self.data = data
+
+
+class QuietPipe(Component):
+    __slots__ = ("pending",)
+
+    def __init__(self):
+        self.pending = []
+
+    def tick(self, cycle):
+        if self.pending:
+            return cycle + 1
+        return IDLE

@@ -1,0 +1,16 @@
+"""Bad fixture: tick-path iteration over unordered containers (ORD01)."""
+
+
+class Component:
+    pass
+
+
+class RacyArbiter(Component):
+    def __init__(self):
+        self.claims = {}
+
+    def tick(self, cycle):
+        for entry in self.claims.values():  # ORD01: dict-order grant walk
+            _ = entry
+        winners = [p for p in {3, 1, 2}]  # ORD01: set-literal iteration
+        return len(winners)

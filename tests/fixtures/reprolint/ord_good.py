@@ -1,0 +1,18 @@
+"""Good fixture: Component iterating deterministically (sorted / list)."""
+
+
+class Component:
+    pass
+
+
+class OrderedArbiter(Component):
+    def __init__(self):
+        self.claims = {}
+        self.ports = []
+
+    def tick(self, cycle):
+        for bank, entry in sorted(self.claims.items()):
+            self.ports.append((bank, entry))
+        for port in self.ports:
+            _ = port
+        return cycle + 1

@@ -1,0 +1,11 @@
+"""Bad fixture: suppression misuse (SUP01 reasonless, SUP02 unused)."""
+
+import time
+
+
+def stamp():
+    return time.time()  # reprolint: disable=DET01
+
+
+def quiet():
+    return 0  # reprolint: disable=DET02: nothing here actually violates DET02

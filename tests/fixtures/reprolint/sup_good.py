@@ -1,0 +1,7 @@
+"""Good fixture: a suppression with a reason, suppressing a real violation."""
+
+import time
+
+
+def stamp():
+    return time.time()  # reprolint: disable=DET01: fixture exercising an explained suppression

@@ -1,0 +1,9 @@
+"""Bad fixture: a lane kernel with no scalar planner twin (TWN02)."""
+
+
+def batch_strided(base, stride, count):
+    return [base + index * stride for index in range(count)]
+
+
+def batch_rogue(base, count):  # TWN02: no plan_rogue* to parity-check against
+    return [base + index for index in range(count)]

@@ -1,0 +1,9 @@
+"""Good fixture: the batch twins of twn_planners_good."""
+
+
+def batch_strided(base, stride, count):
+    return [base + index * stride for index in range(count)]
+
+
+def batch_contiguous(base, count):
+    return [base + index for index in range(count)]

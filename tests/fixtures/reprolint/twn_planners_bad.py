@@ -1,0 +1,11 @@
+"""Bad fixture: a planner with no batch twin (TWN01; see twn_lanes_bad)."""
+
+
+def plan_strided_beats(base, stride, count):
+    for index in range(count):
+        yield base + index * stride
+
+
+def plan_orphan_beats(base, count):  # TWN01: no batch_orphan anywhere
+    for index in range(count):
+        yield base + index

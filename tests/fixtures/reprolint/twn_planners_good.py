@@ -1,0 +1,11 @@
+"""Good fixture: every scalar planner has a batch twin (see twn_lanes_good)."""
+
+
+def plan_strided_beats(base, stride, count):
+    for index in range(count):
+        yield base + index * stride
+
+
+def plan_contiguous_beats(base, count):
+    for index in range(count):
+        yield base + index

@@ -31,7 +31,6 @@ from repro.errors import (
     ConfigurationError,
     DeadlockError,
     MemoryAccessError,
-    MemoryError_,
     ReproError,
 )
 from repro.sim.engine import Engine
@@ -359,8 +358,12 @@ class TestHangDiagnosis:
 
 # ------------------------------------------------------------ renamed error
 class TestMemoryAccessErrorRename:
-    def test_alias_is_the_same_class(self):
-        assert MemoryError_ is MemoryAccessError
+    def test_alias_is_gone(self):
+        # The deprecated MemoryError_ alias was removed; reprolint's DEP01
+        # tombstone keeps it from coming back.
+        import repro.errors
+
+        assert not hasattr(repro.errors, "MemoryError_")
 
     def test_not_the_builtin_and_still_a_repro_error(self):
         assert not issubclass(MemoryAccessError, MemoryError)

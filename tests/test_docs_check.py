@@ -1,10 +1,18 @@
-"""Tier-1 wrapper around the documentation checker (CI ``docs-check``)."""
+"""Tier-1 wrapper around the documentation checker (CI ``docs-check``).
+
+``tools/check_docs.py`` is now a shim over reprolint's docs rules
+(``DOC01``/``DOC02`` in :mod:`tools.reprolint.rules.docs`); these tests pin
+both the legacy helper API the shim preserves and the fact that the shim and
+the rule agree.
+"""
 
 import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "tools"))
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
 
 import check_docs  # noqa: E402
 
@@ -25,3 +33,20 @@ def test_intra_repo_links_resolve():
 
 def test_checker_exit_status():
     assert check_docs.main() == 0
+
+
+def test_doc_set_covers_readme_and_docs_tree():
+    assert check_docs.DOC_FILES[0] == "README.md"
+    assert "docs/testing.md" in check_docs.DOC_FILES
+    assert all(doc.endswith(".md") for doc in check_docs.DOC_FILES)
+
+
+def test_shim_agrees_with_reprolint_docs_rule(tmp_path):
+    """A broken link is reported identically through both entry points."""
+    from tools.reprolint.rules.docs import check_links as rule_check_links
+
+    doc = tmp_path / "doc.md"
+    doc.write_text("see [missing](nowhere.md) and [ok](doc.md)\n",
+                   encoding="utf-8")
+    broken = rule_check_links(tmp_path, ["doc.md"])
+    assert broken == [("doc.md", 1, "nowhere.md")]

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.errors import MemoryError_
+from repro.errors import MemoryAccessError
 from repro.mem.storage import MemoryStorage
 
 
@@ -18,15 +18,15 @@ class TestRawAccess:
         assert storage.read(0, 8).tolist() == list(range(8))
 
     def test_out_of_range_read_rejected(self, storage):
-        with pytest.raises(MemoryError_):
+        with pytest.raises(MemoryAccessError):
             storage.read(len(storage) - 2, 4)
 
     def test_out_of_range_write_rejected(self, storage):
-        with pytest.raises(MemoryError_):
+        with pytest.raises(MemoryAccessError):
             storage.write(len(storage), b"\x00")
 
     def test_negative_address_rejected(self, storage):
-        with pytest.raises(MemoryError_):
+        with pytest.raises(MemoryAccessError):
             storage.read(-1, 1)
 
     def test_zero_size_memory_rejected(self):
@@ -68,11 +68,11 @@ class TestScatterGather:
         assert back.tolist() == [10.0, 12.0, 0.0, 11.0]
 
     def test_scatter_size_mismatch_rejected(self, storage):
-        with pytest.raises(MemoryError_):
+        with pytest.raises(MemoryAccessError):
             storage.write_scattered(np.asarray([0, 4]), b"\x00" * 4, 4)
 
     def test_gather_out_of_range_rejected(self, storage):
-        with pytest.raises(MemoryError_):
+        with pytest.raises(MemoryAccessError):
             storage.read_scattered(np.asarray([len(storage)]), 4)
 
 
@@ -101,9 +101,9 @@ class TestReadView:
         assert storage.read(0, 1)[0] == 0
 
     def test_view_bounds_checked(self, storage):
-        with pytest.raises(MemoryError_):
+        with pytest.raises(MemoryAccessError):
             storage.read_view(len(storage) - 2, 4)
-        with pytest.raises(MemoryError_):
+        with pytest.raises(MemoryAccessError):
             storage.read_view(-1, 2)
 
     def test_read_array_single_copy_still_owned(self, storage):

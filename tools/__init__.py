@@ -1,0 +1,1 @@
+"""Repository-local developer tools (not part of the installed package)."""

@@ -1,100 +1,61 @@
 #!/usr/bin/env python
-"""Documentation consistency checker (the CI ``docs-check`` job).
+"""Documentation consistency checker — now a shim over reprolint's docs rules.
 
-Two classes of rot this catches:
-
-1. **CLI drift** — every ``repro`` subcommand and every long option it
-   accepts must be mentioned somewhere in the documentation set (README.md
-   plus docs/*.md).  The subcommands and flags are introspected from the
-   live argparse parser, so adding a flag without documenting it fails CI.
-2. **Dead links** — every intra-repository markdown link (``[x](docs/y.md)``
-   or ``[x](../README.md#anchor)``) must resolve to an existing file.
-
-Run from the repository root::
+The actual checks (CLI-surface drift, dead relative links) moved into
+:mod:`tools.reprolint.rules.docs` as rules ``DOC01`` / ``DOC02`` so the docs
+gate and the rest of the static-analysis battery share one driver, one
+suppression story and one JSON report.  This entry point remains because the
+CI ``docs-check`` job and older muscle memory invoke it directly::
 
     PYTHONPATH=src python tools/check_docs.py
 
-Exit status is non-zero when anything is missing; the offenders are listed
-one per line so the failure is actionable.
+and it keeps the original helper API (``DOC_FILES``,
+``check_cli_documented``, ``check_links``) for the tier-1 wrapper test.
+Exit status is non-zero when anything is missing.
 """
 
 from __future__ import annotations
 
-import argparse
-import re
 import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
 
-#: The documentation set the checker searches.
-DOC_FILES = ("README.md",) + tuple(
-    str(path.relative_to(REPO_ROOT))
-    for path in sorted((REPO_ROOT / "docs").glob("*.md"))
+from tools.reprolint.rules.docs import (  # noqa: E402
+    DEFAULT_IGNORED_FLAGS as _IGNORED_FLAGS,
 )
+from tools.reprolint.rules.docs import (  # noqa: E402
+    check_cli_documented as _check_cli_documented,
+)
+from tools.reprolint.rules.docs import check_links as _check_links  # noqa: E402
+from tools.reprolint.rules.docs import doc_files as _doc_files  # noqa: E402
+
+#: The documentation set the checker searches (kept for importers).
+DOC_FILES = tuple(_doc_files(REPO_ROOT))
 
 #: Options argparse adds on its own, or that are deliberately undocumented.
-IGNORED_FLAGS = {"--help", "--version"}
-
-#: ``[text](target)`` — target split from any title, anchors kept.
-_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)[^)]*\)")
+IGNORED_FLAGS = set(_IGNORED_FLAGS)
 
 
-def _iter_parser_surface(parser: argparse.ArgumentParser):
-    """Yield (subcommand, flag) pairs; flag is None for the command itself."""
-    for action in parser._actions:
-        if isinstance(action, argparse._SubParsersAction):
-            for name, sub in action.choices.items():
-                yield name, None
-                for sub_action in sub._actions:
-                    for option in sub_action.option_strings:
-                        if option.startswith("--"):
-                            yield name, option
-
-
-def check_cli_documented(parser: argparse.ArgumentParser, corpus: str):
-    missing = []
-    for command, flag in _iter_parser_surface(parser):
-        if flag is None:
-            # Documented as "repro <command>".
-            if not re.search(rf"repro(?:\.cli)?\s+{re.escape(command)}\b",
-                             corpus):
-                missing.append(f"subcommand 'repro {command}' not documented")
-        elif flag not in IGNORED_FLAGS and flag not in corpus:
-            missing.append(f"flag '{flag}' (repro {command}) not documented")
-    return missing
+def check_cli_documented(parser, corpus):
+    """Problem strings for undocumented parser surface (legacy signature)."""
+    return _check_cli_documented(parser, corpus, tuple(IGNORED_FLAGS))
 
 
 def check_links(doc_files):
-    broken = []
-    for doc in doc_files:
-        path = REPO_ROOT / doc
-        for target in _LINK_RE.findall(path.read_text(encoding="utf-8")):
-            if re.match(r"[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, ...
-                continue
-            resolved = (path.parent / target.split("#", 1)[0]).resolve()
-            if not resolved.exists():
-                broken.append(f"{doc}: broken link -> {target}")
-    return broken
+    """Legacy signature: broken-link problem strings for ``doc_files``."""
+    return [
+        f"{doc}: broken link -> {target}"
+        for doc, _line, target in _check_links(REPO_ROOT, list(doc_files))
+    ]
 
 
 def main() -> int:
-    sys.path.insert(0, str(REPO_ROOT / "src"))
-    from repro.cli import _build_parser
+    from tools.reprolint.cli import main as lint_main
 
-    corpus = "\n".join(
-        (REPO_ROOT / doc).read_text(encoding="utf-8") for doc in DOC_FILES
-    )
-    problems = check_cli_documented(_build_parser(), corpus)
-    problems += check_links(DOC_FILES)
-    for problem in problems:
-        print(problem)
-    if problems:
-        print(f"docs-check: {len(problems)} problem(s) "
-              f"across {len(DOC_FILES)} documentation files")
-        return 1
-    print(f"docs-check: OK ({len(DOC_FILES)} documentation files)")
-    return 0
+    return lint_main(["--root", str(REPO_ROOT), "--rules", "docs"])
 
 
 if __name__ == "__main__":

@@ -1,0 +1,126 @@
+"""Command-line front end for reprolint.
+
+Usage (from the repository root)::
+
+    python -m tools.reprolint                # human-readable report
+    python -m tools.reprolint --json         # machine-readable (CI artifact)
+    python -m tools.reprolint --rules determinism,hot-path
+    python -m tools.reprolint --list-rules   # the rule catalog
+
+Exit codes: 0 clean, 1 violations found, 2 configuration/internal error.
+The ``repro lint`` subcommand delegates here (see ``repro.cli``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="Static analysis for the AXI-Pack reproduction's "
+        "hand-kept invariants.",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="repository root (default: auto-detect from cwd)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable JSON report on stdout",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="GROUPS",
+        help="comma-separated rule groups to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def find_root(start: Optional[Path] = None) -> Optional[Path]:
+    """Walk up from ``start`` (default cwd) to the reprolint manifest."""
+    here = (start or Path.cwd()).resolve()
+    for candidate in (here, *here.parents):
+        if (candidate / "tools" / "reprolint" / "manifest.json").exists():
+            return candidate
+    return None
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    # Imported lazily so ``--help`` works even from a broken checkout.
+    from tools.reprolint.core import RULE_DOCS, run_lint
+
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        from tools.reprolint import rules  # noqa: F401  (registers the battery)
+        from tools.reprolint.core import RULES
+
+        for group in sorted(RULES):
+            print(group)
+        print()
+        for code in sorted(RULE_DOCS):
+            print(f"  {code}  {RULE_DOCS[code]}")
+        return 0
+
+    root = args.root.resolve() if args.root else find_root()
+    if root is None or not (root / "tools" / "reprolint" / "manifest.json").exists():
+        print(
+            "reprolint: cannot find tools/reprolint/manifest.json — run from "
+            "inside the repository or pass --root",
+            file=sys.stderr,
+        )
+        return 2
+
+    rule_names = (
+        [name.strip() for name in args.rules.split(",") if name.strip()]
+        if args.rules
+        else None
+    )
+    try:
+        result = run_lint(root, rule_names=rule_names)
+    except KeyError as exc:
+        print(f"reprolint: {exc.args[0]}", file=sys.stderr)
+        return 2
+    except (OSError, SyntaxError, ValueError) as exc:
+        print(f"reprolint: internal error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return result.exit_code
+
+    for violation in result.violations:
+        print(violation.render())
+    if result.suppressed:
+        print()
+        print(f"suppressed ({len(result.suppressed)} — every active exemption):")
+        for violation in result.suppressed:
+            print(f"  {violation.render()}")
+    print()
+    if result.violations:
+        print(
+            f"reprolint: {len(result.violations)} violation(s), "
+            f"{len(result.suppressed)} suppressed"
+        )
+    else:
+        print(f"reprolint: OK ({len(result.suppressed)} suppressed)")
+    return result.exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,52 @@
+"""Deprecation rule: names retired from the codebase must stay retired.
+
+``DEP01`` — any reference (definition, import, attribute access, or plain
+    use) to a name on the manifest's ``deprecated_names`` map.  Each entry
+    carries the replacement/reason, which is echoed in the message.
+
+Deleting a deprecated alias is only half the job — without a tripwire it
+drifts back in via copy-paste from old branches or stale snippets.  The
+manifest keeps the tombstone after the body is gone.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.reprolint.core import RepoContext, Violation, rule
+
+DOCS = {
+    "DEP01": "reference to a deprecated name",
+}
+
+
+@rule("deprecation", DOCS)
+def check(repo: RepoContext) -> Iterator[Violation]:
+    deprecated = repo.config.deprecated
+    if not deprecated:
+        return
+    for ctx in repo.files:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Name) and node.id in deprecated:
+                name = node.id
+            elif isinstance(node, ast.Attribute) and node.attr in deprecated:
+                name = node.attr
+            elif isinstance(node, ast.ImportFrom):
+                hit = next(
+                    (
+                        alias.name
+                        for alias in node.names
+                        if alias.name in deprecated
+                    ),
+                    None,
+                )
+                if hit is None:
+                    continue
+                name = hit
+            else:
+                continue
+            yield Violation(
+                "DEP01", ctx.rel, node.lineno,
+                f"`{name}` is deprecated — {deprecated[name]}",
+            )

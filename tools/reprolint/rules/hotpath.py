@@ -1,0 +1,138 @@
+"""Hot-path contract rules: slots discipline and the wake-hint protocol.
+
+``HOT01`` — a class defined in one of the manifest's ``hot_modules`` does
+    not declare ``__slots__``.  These modules hold the records created at
+    bus-width rate (beats, word requests, queue cells, lane state); slotted
+    layout is what keeps them cheap, and one slotless addition regresses
+    every simulation.  Enum subclasses are exempt (members are class
+    attributes; instances are interned singletons).
+``HOT02`` — a ``tick`` override in a :class:`Component` subclass returns
+    ``None`` (explicitly, or by falling off the end).  Since the wake-hint
+    scheduler landed, a bare ``None`` means "poll me every cycle forever" —
+    legal, but always a performance bug in new code.  Return ``IDLE`` when
+    quiescent or the next cycle of interest.  ``@abstractmethod`` stubs are
+    exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.reprolint.core import (
+    RepoContext,
+    Violation,
+    base_names,
+    component_classes,
+    import_table,
+    qualified_name,
+    rule,
+)
+
+DOCS = {
+    "HOT01": "class in a hot module lacks __slots__",
+    "HOT02": "Component.tick override returns a bare None wake hint",
+}
+
+_ENUM_BASES = {"Enum", "IntEnum", "StrEnum", "Flag", "IntFlag"}
+
+
+def _declares_slots(class_node: ast.ClassDef) -> bool:
+    for item in class_node.body:
+        if isinstance(item, ast.Assign):
+            for target in item.targets:
+                if isinstance(target, ast.Name) and target.id == "__slots__":
+                    return True
+        if isinstance(item, ast.AnnAssign):
+            if (
+                isinstance(item.target, ast.Name)
+                and item.target.id == "__slots__"
+            ):
+                return True
+    return False
+
+
+def _is_enum(class_node: ast.ClassDef) -> bool:
+    return bool(_ENUM_BASES.intersection(base_names(class_node)))
+
+
+def _is_abstract(func: ast.FunctionDef, imports: dict) -> bool:
+    for deco in func.decorator_list:
+        name = qualified_name(deco, imports)
+        if name in ("abc.abstractmethod", "abstractmethod"):
+            return True
+    return False
+
+
+def _returns_none(func: ast.FunctionDef) -> Iterator[int]:
+    """Line numbers where ``func`` produces a ``None`` wake hint.
+
+    Explicit ``return`` / ``return None`` statements are flagged at their
+    own line.  A body with *no* return statement at all falls through to an
+    implicit ``None`` and is flagged at the ``def`` line.  (A body where
+    only *some* paths fall through needs data-flow analysis; those are out
+    of scope for an AST pass and caught at runtime by the scheduler's
+    legacy-polling accounting instead.)
+    """
+    returns = _direct_returns(func)
+    if not returns:
+        # All-raise bodies (and ... stubs) never produce a hint at all.
+        if not any(isinstance(n, ast.Raise) for n in func.body):
+            yield func.lineno
+        return
+    for node in returns:
+        if node.value is None:
+            yield node.lineno
+        elif isinstance(node.value, ast.Constant) and node.value.value is None:
+            yield node.lineno
+
+
+def _direct_returns(func: ast.FunctionDef) -> "list[ast.Return]":
+    """Return statements belonging to ``func`` itself, not nested helpers."""
+    result = []
+    stack = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Return):
+            result.append(node)
+        stack.extend(ast.iter_child_nodes(node))
+    return result
+
+
+@rule("hot-path", DOCS)
+def check(repo: RepoContext) -> Iterator[Violation]:
+    # --- HOT01: slots discipline in the manifest's hot modules ------------
+    for rel in repo.config.hot_modules:
+        ctx = repo.get_file(rel)
+        if ctx is None:
+            continue
+        for node in ctx.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if _is_enum(node) or _declares_slots(node):
+                continue
+            yield Violation(
+                "HOT01", ctx.rel, node.lineno,
+                f"class `{node.name}` in hot module lacks __slots__ — "
+                "records here are created at bus-width rate; declare "
+                "__slots__ (or justify with an inline suppression)",
+            )
+
+    # --- HOT02: tick overrides must return a wake hint --------------------
+    for ctx in repo.files:
+        imports = import_table(ctx.tree)
+        for class_node in component_classes(ctx.tree):
+            for item in class_node.body:
+                if not isinstance(item, ast.FunctionDef) or item.name != "tick":
+                    continue
+                if _is_abstract(item, imports):
+                    continue
+                for lineno in _returns_none(item):
+                    yield Violation(
+                        "HOT02", ctx.rel, lineno,
+                        f"`{class_node.name}.tick` returns a bare None wake "
+                        "hint — return IDLE when quiescent or the next "
+                        "cycle of interest; None re-polls every cycle",
+                    )

@@ -1,0 +1,73 @@
+"""Ordering rule: no unordered-container iteration inside Component code.
+
+``ORD01`` — a ``for`` loop (or comprehension) inside a
+:class:`~repro.sim.component.Component` subclass iterating over
+``dict.values()`` / ``dict.keys()`` / ``dict.items()``, a set literal, or a
+``set(...)`` / ``frozenset(...)`` call.
+
+Why: everything inside a Component runs on the tick path, and tick-path
+iteration order feeds order-sensitive simulated state (arbitration grants,
+queue pops, stat attribution).  CPython dicts iterate in insertion order and
+sets in hash order — both are *accidentally* stable, which is worse than
+unstable: a refactor that changes insertion order silently changes cycle
+counts.  Iterate a deterministic structure instead (a list, a deque, or
+``sorted(d.items())`` — a ``sorted(...)`` wrapper satisfies the rule).
+
+Scope: classes whose bases include ``Component`` (directly, or through a
+class defined earlier in the same module), in every file under analysis.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.reprolint.core import RepoContext, Violation, component_classes, rule
+
+DOCS = {
+    "ORD01": "iteration over an unordered container on the tick path",
+}
+
+#: dict views whose iteration order is insertion order, not a keyed order.
+_DICT_VIEWS = {"values", "keys", "items"}
+
+
+def _unordered_iter(node: ast.AST) -> str:
+    """Describe ``node`` if iterating it is order-unstable, else ``''``."""
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _DICT_VIEWS:
+            if not node.args and not node.keywords:
+                return f".{func.attr}() of a dict"
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return f"a {func.id}(...) call"
+    if isinstance(node, ast.Set):
+        return "a set literal"
+    return ""
+
+
+def _iter_targets(node: ast.AST) -> Iterator[ast.AST]:
+    """Every expression the statement/expression ``node`` iterates over."""
+    if isinstance(node, (ast.For, ast.AsyncFor)):
+        yield node.iter
+    elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                           ast.GeneratorExp)):
+        for generator in node.generators:
+            yield generator.iter
+
+
+@rule("order-iteration", DOCS)
+def check(repo: RepoContext) -> Iterator[Violation]:
+    for ctx in repo.files:
+        for class_node in component_classes(ctx.tree):
+            for node in ast.walk(class_node):
+                for target in _iter_targets(node):
+                    what = _unordered_iter(target)
+                    if what:
+                        yield Violation(
+                            "ORD01", ctx.rel, target.lineno,
+                            f"iteration over {what} inside Component "
+                            f"`{class_node.name}` — tick-path order feeds "
+                            "simulated state; iterate a list/deque or wrap "
+                            "in sorted(...)",
+                        )

@@ -1,0 +1,83 @@
+"""Twin-coverage rule: every scalar planner has a lane-kernel counterpart.
+
+The simulator carries each traffic pattern twice — a scalar, beat-at-a-time
+planner in ``controller/planners.py`` (the readable reference) and a batched
+lane kernel in ``controller/lanes.py`` (the fast path).  The parity suite
+asserts they agree bit for bit, but only for pairs it knows about; a new
+planner without a twin silently runs scalar-only and never gets a parity
+check.  Naming convention: ``plan_<stem>[_beats]`` twins ``batch_<stem>``.
+
+``TWN01`` — a ``plan_*`` function in the planners module has no
+    ``batch_*`` counterpart in the lanes module.
+``TWN02`` — a ``batch_*`` kernel has no ``plan_*`` counterpart (a fast
+    path with no scalar reference to check against).
+
+The module pair and any deliberate singletons live under ``twins`` in
+``tools/reprolint/manifest.json``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator
+
+from tools.reprolint.core import RepoContext, Violation, rule
+
+DOCS = {
+    "TWN01": "scalar planner without a batched lane-kernel twin",
+    "TWN02": "batched lane kernel without a scalar planner twin",
+}
+
+
+def _functions(tree: ast.AST, prefix: str) -> Dict[str, int]:
+    """Module-level ``prefix*`` function names mapped to their def line."""
+    return {
+        node.name: node.lineno
+        for node in tree.body  # type: ignore[attr-defined]
+        if isinstance(node, ast.FunctionDef) and node.name.startswith(prefix)
+    }
+
+
+def _stem(name: str, prefix: str) -> str:
+    """``plan_strided_beats`` -> ``strided``; ``batch_strided`` -> ``strided``."""
+    stem = name[len(prefix):]
+    if stem.endswith("_beats"):
+        stem = stem[: -len("_beats")]
+    return stem
+
+
+@rule("twin-coverage", DOCS)
+def check(repo: RepoContext) -> Iterator[Violation]:
+    config = repo.config.twins
+    if not config:
+        return
+    planners_rel = config.get("planners", "src/repro/controller/planners.py")
+    lanes_rel = config.get("lanes", "src/repro/controller/lanes.py")
+    exempt = config.get("exempt", {})
+    planners_ctx = repo.get_file(planners_rel)
+    lanes_ctx = repo.get_file(lanes_rel)
+    if planners_ctx is None or lanes_ctx is None:
+        return
+
+    plans = _functions(planners_ctx.tree, "plan_")
+    batches = _functions(lanes_ctx.tree, "batch_")
+    plan_stems = {_stem(name, "plan_"): name for name in plans}
+    batch_stems = {_stem(name, "batch_"): name for name in batches}
+
+    for stem, name in sorted(plan_stems.items()):
+        if stem not in batch_stems and name not in exempt:
+            yield Violation(
+                "TWN01", planners_rel, plans[name],
+                f"scalar planner `{name}` has no `batch_{stem}*` twin in "
+                f"{lanes_rel} — add the lane kernel (and a parity test) or "
+                "exempt it with a reason under twins.exempt in "
+                "tools/reprolint/manifest.json",
+            )
+    for stem, name in sorted(batch_stems.items()):
+        if stem not in plan_stems and name not in exempt:
+            yield Violation(
+                "TWN02", lanes_rel, batches[name],
+                f"lane kernel `{name}` has no `plan_{stem}*` twin in "
+                f"{planners_rel} — a fast path with no scalar reference "
+                "cannot be parity-checked",
+            )
